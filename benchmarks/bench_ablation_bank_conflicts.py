@@ -1,0 +1,35 @@
+"""Ablation A2 — I-cache banking pressure under 2.X policies.
+
+The paper's complexity argument for 2.X includes bank-conflict logic.
+This ablation sweeps the bank count: with fewer banks, simultaneous
+two-thread fetch loses slots to conflicts; with one thread (1.X) the
+bank count is irrelevant — exactly why 1.X hardware is simpler.
+"""
+
+from conftest import BENCH_CYCLES, BENCH_WARMUP, TIMED_CYCLES, TIMED_WARMUP
+
+from repro.core import SimConfig, simulate
+
+
+def bench_ablation_bank_conflicts(benchmark):
+    print()
+    print(f"{'banks':>5s} {'policy':12s} {'conflicts':>10s} {'ipfc':>6s}")
+    conflicts = {}
+    for banks in (1, 2, 8):
+        for policy in ("ICOUNT.1.8", "ICOUNT.2.8"):
+            cfg = SimConfig(cache_banks=banks)
+            result = simulate("4_ILP", engine="gshare+BTB", policy=policy,
+                              cycles=BENCH_CYCLES, warmup=BENCH_WARMUP,
+                              config=cfg)
+            conflicts[(banks, policy)] = result.bank_conflicts
+            print(f"{banks:5d} {policy:12s} {result.bank_conflicts:10d} "
+                  f"{result.ipfc:6.2f}")
+    # 1.X never conflicts; 2.X conflicts grow as banks shrink.
+    assert all(conflicts[(b, "ICOUNT.1.8")] == 0 for b in (1, 2, 8))
+    assert conflicts[(1, "ICOUNT.2.8")] >= conflicts[(8, "ICOUNT.2.8")]
+    assert conflicts[(1, "ICOUNT.2.8")] > 0
+
+    benchmark(lambda: simulate("4_ILP", engine="gshare+BTB",
+                               policy="ICOUNT.2.8", cycles=TIMED_CYCLES,
+                               warmup=TIMED_WARMUP,
+                               config=SimConfig(cache_banks=1)))

@@ -1,0 +1,44 @@
+"""Sections 3.1/3.2 — distribution of instructions per fetch cycle.
+
+The paper quotes, for gshare+BTB on gzip-twolf, the share of fetch
+cycles delivering at least 4/8/16 instructions under each policy.  The
+same distributions fall out of the fetch unit's delivered-width
+histogram.
+"""
+
+from conftest import BENCH_CYCLES, BENCH_WARMUP, TIMED_CYCLES, TIMED_WARMUP
+
+from repro.core import simulate
+from repro.experiments import measure
+from repro.experiments.paper_data import DISTRIBUTION_CLAIMS
+
+
+def bench_fetch_distributions(benchmark):
+    print()
+    print(f"{'policy':14s} {'>=4 paper':>10s} {'>=4 meas':>9s} "
+          f"{'>=8 paper':>10s} {'>=8 meas':>9s} "
+          f"{'=16 paper':>10s} {'>=16 meas':>10s}")
+    print("-" * 68)
+    for policy, paper in DISTRIBUTION_CLAIMS.items():
+        result = measure("2_MIX", "gshare+BTB", policy,
+                         cycles=BENCH_CYCLES, warmup=BENCH_WARMUP)
+        meas = result.delivered_at_least
+        print(f"{policy:14s} {paper.get(4, float('nan')):10.2f} "
+              f"{meas[4]:9.2f} {paper.get(8, float('nan')):10.2f} "
+              f"{meas[8]:9.2f} {paper.get(16, float('nan')):10.2f} "
+              f"{meas[16]:10.2f}")
+
+    # Shape checks: wider fetch and more threads shift the distribution
+    # toward larger deliveries, as in the paper.
+    narrow = measure("2_MIX", "gshare+BTB", "ICOUNT.1.8",
+                     cycles=BENCH_CYCLES, warmup=BENCH_WARMUP)
+    dual = measure("2_MIX", "gshare+BTB", "ICOUNT.2.8",
+                   cycles=BENCH_CYCLES, warmup=BENCH_WARMUP)
+    assert dual.delivered_at_least[8] > narrow.delivered_at_least[8]
+    wide = measure("2_MIX", "gshare+BTB", "ICOUNT.1.16",
+                   cycles=BENCH_CYCLES, warmup=BENCH_WARMUP)
+    assert 0 < wide.delivered_at_least[16] < 0.5
+
+    benchmark(lambda: simulate("2_MIX", engine="gshare+BTB",
+                               policy="ICOUNT.1.16", cycles=TIMED_CYCLES,
+                               warmup=TIMED_WARMUP))

@@ -1,0 +1,31 @@
+"""Figure 2 — fetch throughput of gshare+BTB fetching ONE thread/cycle.
+
+Paper: on gzip-twolf (2_MIX) the conventional engine reaches ~4.7 IPFC
+at ICOUNT.1.8 and stays under half the bandwidth at ICOUNT.1.16 (~6.3):
+one prediction per cycle cannot feed an 8-wide core from one thread.
+"""
+
+from conftest import BENCH_CYCLES, BENCH_WARMUP, TIMED_CYCLES, TIMED_WARMUP
+
+from repro.core import simulate
+from repro.experiments import FIGURES, format_figure, run_figure
+from repro.experiments.paper_data import FIG2_ANCHORS
+
+
+def bench_fig2(benchmark):
+    fig = run_figure(FIGURES["fig2"], cycles=BENCH_CYCLES,
+                     warmup=BENCH_WARMUP)
+    print()
+    print(format_figure(fig))
+    print(f"paper anchors: {FIG2_ANCHORS}")
+
+    narrow = fig.value("2_MIX", "gshare+BTB", "ICOUNT.1.8")
+    wide = fig.value("2_MIX", "gshare+BTB", "ICOUNT.1.16")
+    # Shape: well under the 8-wide bandwidth; widening helps but stays
+    # under half of 16.
+    assert narrow < 6.0
+    assert narrow < wide < 8.0
+
+    benchmark(lambda: simulate("2_MIX", engine="gshare+BTB",
+                               policy="ICOUNT.1.8", cycles=TIMED_CYCLES,
+                               warmup=TIMED_WARMUP))

@@ -1,0 +1,32 @@
+"""Figure 4 — fetch throughput of gshare+BTB fetching TWO threads/cycle.
+
+Paper: 2.8 improves fetch throughput ~28% over 1.8, and 2.16 ~33% over
+1.16 — the conventional justification for the complex 2.X front-end.
+"""
+
+from conftest import BENCH_CYCLES, BENCH_WARMUP, TIMED_CYCLES, TIMED_WARMUP
+
+from repro.core import simulate
+from repro.experiments import FIGURES, PAPER_CLAIMS, check_claims, \
+    format_claims, format_figure, run_figure
+
+
+def bench_fig4(benchmark):
+    fig = run_figure(FIGURES["fig4"], cycles=BENCH_CYCLES,
+                     warmup=BENCH_WARMUP)
+    print()
+    print(format_figure(fig))
+    claims = tuple(c for c in PAPER_CLAIMS if c.claim_id.startswith("fig4"))
+    outcomes = check_claims(claims, cycles=BENCH_CYCLES,
+                            warmup=BENCH_WARMUP)
+    print(format_claims(outcomes))
+
+    # Shape: fetching from two threads must raise fetch throughput.
+    assert fig.value("2_MIX", "gshare+BTB", "ICOUNT.2.8") > \
+        fig.value("2_MIX", "gshare+BTB", "ICOUNT.1.8")
+    assert fig.value("2_MIX", "gshare+BTB", "ICOUNT.2.16") > \
+        fig.value("2_MIX", "gshare+BTB", "ICOUNT.1.16")
+
+    benchmark(lambda: simulate("2_MIX", engine="gshare+BTB",
+                               policy="ICOUNT.2.8", cycles=TIMED_CYCLES,
+                               warmup=TIMED_WARMUP))

@@ -1,0 +1,43 @@
+"""Figure 5 — ILP workloads, ICOUNT.1.8 vs ICOUNT.2.8 (fetch + commit).
+
+Paper shape: with high-ILP threads fetch is the limiter, so fetching two
+threads beats one, and the engines rank stream > gskew+FTB > gshare+BTB
+in both fetch and commit throughput.
+"""
+
+from conftest import BENCH_CYCLES, BENCH_WARMUP, TIMED_CYCLES, TIMED_WARMUP
+
+from repro.core import simulate
+from repro.experiments import FIGURES, PAPER_CLAIMS, check_claims, \
+    format_claims, format_figure, run_figure
+
+
+def bench_fig5(benchmark):
+    fig_a = run_figure(FIGURES["fig5a"], cycles=BENCH_CYCLES,
+                       warmup=BENCH_WARMUP)
+    fig_b = run_figure(FIGURES["fig5b"], cycles=BENCH_CYCLES,
+                       warmup=BENCH_WARMUP)
+    print()
+    print(format_figure(fig_a))
+    print()
+    print(format_figure(fig_b))
+    claims = tuple(c for c in PAPER_CLAIMS if c.claim_id.startswith("fig5"))
+    outcomes = check_claims(claims, cycles=BENCH_CYCLES,
+                            warmup=BENCH_WARMUP)
+    print(format_claims(outcomes))
+
+    # Shape: engine ordering on fetch throughput, averaged over ILP.
+    for policy in ("ICOUNT.1.8", "ICOUNT.2.8"):
+        gshare = fig_a.average_over_workloads("gshare+BTB", policy)
+        gskew = fig_a.average_over_workloads("gskew+FTB", policy)
+        stream = fig_a.average_over_workloads("stream", policy)
+        assert stream > gshare, f"stream must out-fetch gshare at {policy}"
+        assert gskew > gshare * 0.98, \
+            f"gskew+FTB must not trail gshare at {policy}"
+    # Shape: two threads out-fetch one thread.
+    assert fig_a.average_over_workloads("gshare+BTB", "ICOUNT.2.8") > \
+        fig_a.average_over_workloads("gshare+BTB", "ICOUNT.1.8")
+
+    benchmark(lambda: simulate("4_ILP", engine="stream",
+                               policy="ICOUNT.2.8", cycles=TIMED_CYCLES,
+                               warmup=TIMED_WARMUP))

@@ -1,0 +1,41 @@
+"""Figure 6 — ILP workloads, ICOUNT.2.8 vs 1.16 vs 2.16.
+
+Paper shape: widening one-thread fetch to 16 rescues the stream engine
+(long streams span cache lines), while gshare+BTB loses from 1.16 (one
+basic block per prediction cannot fill 16 slots); stream at 1.16 beats
+every engine at 2.8 and approaches the expensive 2.16 design.
+"""
+
+from conftest import BENCH_CYCLES, BENCH_WARMUP, TIMED_CYCLES, TIMED_WARMUP
+
+from repro.core import simulate
+from repro.experiments import FIGURES, PAPER_CLAIMS, check_claims, \
+    format_claims, format_figure, run_figure
+
+
+def bench_fig6(benchmark):
+    fig_a = run_figure(FIGURES["fig6a"], cycles=BENCH_CYCLES,
+                       warmup=BENCH_WARMUP)
+    fig_b = run_figure(FIGURES["fig6b"], cycles=BENCH_CYCLES,
+                       warmup=BENCH_WARMUP)
+    print()
+    print(format_figure(fig_a))
+    print()
+    print(format_figure(fig_b))
+    claims = tuple(c for c in PAPER_CLAIMS if c.claim_id.startswith("fig6"))
+    outcomes = check_claims(claims, cycles=BENCH_CYCLES,
+                            warmup=BENCH_WARMUP)
+    print(format_claims(outcomes))
+
+    # Shape: at 1.16 the stream engine out-fetches the single-branch
+    # engines by a wide margin (that is its design point).
+    stream_116 = fig_a.average_over_workloads("stream", "ICOUNT.1.16")
+    gshare_116 = fig_a.average_over_workloads("gshare+BTB", "ICOUNT.1.16")
+    assert stream_116 > gshare_116 * 1.1
+    # Shape: stream@1.16 commits at least as much as gshare@2.8.
+    assert fig_b.average_over_workloads("stream", "ICOUNT.1.16") > \
+        fig_b.average_over_workloads("gshare+BTB", "ICOUNT.2.8") * 0.97
+
+    benchmark(lambda: simulate("4_ILP", engine="stream",
+                               policy="ICOUNT.1.16", cycles=TIMED_CYCLES,
+                               warmup=TIMED_WARMUP))

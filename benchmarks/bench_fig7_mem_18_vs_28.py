@@ -1,0 +1,43 @@
+"""Figure 7 — MIX & MEM workloads, ICOUNT.1.8 vs ICOUNT.2.8.
+
+Paper's central counterintuitive result: fetch throughput still rises
+with two threads (7a), but COMMIT throughput falls (7b) — the second,
+memory-bound thread clogs shared queues and registers.
+"""
+
+from conftest import BENCH_CYCLES, BENCH_WARMUP, TIMED_CYCLES, TIMED_WARMUP
+
+from repro.core import simulate
+from repro.experiments import FIGURES, PAPER_CLAIMS, check_claims, \
+    format_claims, format_figure, run_figure
+
+
+def bench_fig7(benchmark):
+    fig_a = run_figure(FIGURES["fig7a"], cycles=BENCH_CYCLES,
+                       warmup=BENCH_WARMUP)
+    fig_b = run_figure(FIGURES["fig7b"], cycles=BENCH_CYCLES,
+                       warmup=BENCH_WARMUP)
+    print()
+    print(format_figure(fig_a))
+    print()
+    print(format_figure(fig_b))
+    claims = tuple(c for c in PAPER_CLAIMS if c.claim_id.startswith("fig7"))
+    outcomes = check_claims(claims, cycles=BENCH_CYCLES,
+                            warmup=BENCH_WARMUP)
+    print(format_claims(outcomes))
+
+    # Shape (the headline): fetching two threads raises FETCH throughput
+    # but does NOT raise COMMIT throughput on memory-bound workloads.
+    for engine in ("gshare+BTB", "stream"):
+        fetch_1 = fig_a.average_over_workloads(engine, "ICOUNT.1.8")
+        fetch_2 = fig_a.average_over_workloads(engine, "ICOUNT.2.8")
+        commit_1 = fig_b.average_over_workloads(engine, "ICOUNT.1.8")
+        commit_2 = fig_b.average_over_workloads(engine, "ICOUNT.2.8")
+        assert fetch_2 > fetch_1, f"{engine}: 2.8 must out-fetch 1.8"
+        assert commit_2 < commit_1 * 1.03, \
+            f"{engine}: the paper's inversion must hold (2.8 commit " \
+            f"{commit_2:.2f} vs 1.8 {commit_1:.2f})"
+
+    benchmark(lambda: simulate("2_MIX", engine="gshare+BTB",
+                               policy="ICOUNT.2.8", cycles=TIMED_CYCLES,
+                               warmup=TIMED_WARMUP))

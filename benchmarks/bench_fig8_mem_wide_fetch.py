@@ -1,0 +1,39 @@
+"""Figure 8 — MIX & MEM workloads, ICOUNT.1.8 vs 1.16 vs 2.16.
+
+Paper shape: the best design for memory-bound workloads is a wide
+single-thread fetch (1.16) with a high-performance engine; even the
+expensive 2.16 all-in-one loses to 1.16 almost everywhere.
+"""
+
+from conftest import BENCH_CYCLES, BENCH_WARMUP, TIMED_CYCLES, TIMED_WARMUP
+
+from repro.core import simulate
+from repro.experiments import FIGURES, PAPER_CLAIMS, check_claims, \
+    format_claims, format_figure, run_figure
+
+
+def bench_fig8(benchmark):
+    fig_a = run_figure(FIGURES["fig8a"], cycles=BENCH_CYCLES,
+                       warmup=BENCH_WARMUP)
+    fig_b = run_figure(FIGURES["fig8b"], cycles=BENCH_CYCLES,
+                       warmup=BENCH_WARMUP)
+    print()
+    print(format_figure(fig_a))
+    print()
+    print(format_figure(fig_b))
+    claims = tuple(c for c in PAPER_CLAIMS if c.claim_id.startswith("fig8"))
+    outcomes = check_claims(claims, cycles=BENCH_CYCLES,
+                            warmup=BENCH_WARMUP)
+    print(format_claims(outcomes))
+
+    # Shape: 2.16 must not beat 1.16 on memory-bound workloads.
+    for engine in ("gshare+BTB", "stream"):
+        wide_one = fig_b.average_over_workloads(engine, "ICOUNT.1.16")
+        wide_two = fig_b.average_over_workloads(engine, "ICOUNT.2.16")
+        assert wide_two < wide_one * 1.05, \
+            f"{engine}: 2.16 ({wide_two:.2f}) must not out-commit " \
+            f"1.16 ({wide_one:.2f})"
+
+    benchmark(lambda: simulate("4_MIX", engine="stream",
+                               policy="ICOUNT.1.16", cycles=TIMED_CYCLES,
+                               warmup=TIMED_WARMUP))

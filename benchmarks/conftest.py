@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_CYCLES`` / ``REPRO_BENCH_WARMUP`` environment variables
+override the per-cell simulation windows (larger = closer to the
+EXPERIMENTS.md numbers, slower).  Grid cells are cached across the whole
+benchmark session, so figures sharing cells (5a/5b, 6a/6b, ...) only
+simulate once.
+"""
+
+import os
+
+BENCH_CYCLES = int(os.environ.get("REPRO_BENCH_CYCLES", "6000"))
+BENCH_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "6000"))
+TIMED_CYCLES = 300
+TIMED_WARMUP = 200

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Fetch-policy study: the paper's design space on one workload.
+
+Sweeps every combination of fetch engine and ICOUNT policy on a chosen
+workload and prints the fetch/commit matrix — the slice of Figures 5-8
+for that workload.  The paper's argument is visible directly: for ILP
+workloads the wide rows win; for MIX/MEM the 2.X columns lose commit
+throughput despite fetching more.
+
+Usage::
+
+    python examples/fetch_policy_study.py [workload] [cycles]
+
+with workload one of the Table 2 names (default ``4_ILP``).
+"""
+
+import sys
+
+from repro.core import WORKLOADS, simulate
+
+ENGINES = ("gshare+BTB", "gskew+FTB", "stream")
+POLICIES = ("ICOUNT.1.8", "ICOUNT.2.8", "ICOUNT.1.16", "ICOUNT.2.16")
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "4_ILP"
+    cycles = int(sys.argv[2]) if len(sys.argv) > 2 else 15_000
+    if workload not in WORKLOADS:
+        raise SystemExit(f"unknown workload {workload!r}; choose from "
+                         f"{', '.join(sorted(WORKLOADS))}")
+
+    print(f"workload {workload} = {' + '.join(WORKLOADS[workload])}, "
+          f"{cycles} measured cycles\n")
+    header = f"{'engine':12s}" + "".join(f"{p:>14s}" for p in POLICIES)
+    for metric in ("ipfc", "ipc"):
+        print({"ipfc": "FETCH throughput (IPFC)",
+               "ipc": "COMMIT throughput (IPC)"}[metric])
+        print(header)
+        print("-" * len(header))
+        for engine in ENGINES:
+            cells = []
+            for policy in POLICIES:
+                result = simulate(workload, engine=engine, policy=policy,
+                                  cycles=cycles)
+                cells.append(getattr(result, metric))
+            print(f"{engine:12s}"
+                  + "".join(f"{v:14.2f}" for v in cells))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Branch Target Buffer (Lee & Smith, 1984).
+
+Table 3 of the paper: 2K entries, 4-way set associative.  The BTB is the
+*block-terminating* structure of the conventional fetch engine: every
+resolved branch (taken or not) is inserted, so a fetch block ends at the
+first BTB hit — which limits gshare+BTB fetch to roughly one basic block
+per prediction, exactly the limitation the paper's Section 3.1 measures.
+"""
+
+from __future__ import annotations
+
+from repro.branch.common import SetAssocTable
+from repro.isa.instruction import BranchKind
+
+
+class BTBEntry:
+    """Target information for one branch instruction."""
+
+    __slots__ = ("target", "kind")
+
+    def __init__(self, target: int, kind: BranchKind) -> None:
+        self.target = target
+        self.kind = kind
+
+
+class BTB:
+    """Set-associative branch target buffer storing *all* seen branches.
+
+    Entries are tagged with the thread's address-space id: threads run
+    distinct programs whose (virtual) code ranges overlap, so an
+    untagged BTB would systematically hand one thread another thread's
+    targets.  Capacity is still shared — threads evict each other.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, entries: int = 2048, assoc: int = 4) -> None:
+        self._table = SetAssocTable(entries, assoc)
+
+    @staticmethod
+    def _key(pc: int, asid: int) -> tuple[int, int]:
+        return ((pc >> 2) ^ (asid * 0x9E37), pc * 64 + asid)
+
+    def lookup(self, pc: int, asid: int = 0) -> BTBEntry | None:
+        """Return the entry for the branch at ``pc``, if cached."""
+        index, key = self._key(pc, asid)
+        return self._table.lookup(index, key)
+
+    def insert(self, pc: int, target: int, kind: BranchKind,
+               asid: int = 0) -> None:
+        """Insert or refresh the branch at ``pc`` (any direction)."""
+        index, key = self._key(pc, asid)
+        self._table.insert(index, key, BTBEntry(target, kind))
+
+    @property
+    def hits(self) -> int:
+        """Number of lookups that hit (stats)."""
+        return self._table.hits
+
+    @property
+    def misses(self) -> int:
+        """Number of lookups that missed (stats)."""
+        return self._table.misses

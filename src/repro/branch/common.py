@@ -1,0 +1,106 @@
+"""Shared predictor table machinery.
+
+``SaturatingCounterTable`` is a dense array of 2-bit counters backed by a
+``bytearray`` (the hot path of every direction predictor).
+``SetAssocTable`` is a generic set-associative, true-LRU structure used
+by the BTB, FTB and the stream predictor's two levels.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(n: int) -> bool:
+    """True if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class SaturatingCounterTable:
+    """A table of 2-bit saturating counters.
+
+    Counters start at weakly-not-taken (1).  ``predict`` returns the
+    direction bit; ``update`` moves the addressed counter toward the
+    outcome.
+    """
+
+    __slots__ = ("size", "_counters")
+
+    def __init__(self, size: int, init: int = 1) -> None:
+        if not is_power_of_two(size):
+            raise ValueError(f"table size must be a power of two, got {size}")
+        if not 0 <= init <= 3:
+            raise ValueError(f"counter init must be in [0, 3], got {init}")
+        self.size = size
+        self._counters = bytearray([init]) * size
+
+    def predict(self, index: int) -> bool:
+        """Direction prediction of the counter at ``index``."""
+        return self._counters[index & (self.size - 1)] >= 2
+
+    def counter(self, index: int) -> int:
+        """Raw counter value (for tests and introspection)."""
+        return self._counters[index & (self.size - 1)]
+
+    def update(self, index: int, taken: bool) -> None:
+        """Saturating update toward ``taken``."""
+        i = index & (self.size - 1)
+        c = self._counters[i]
+        if taken:
+            if c < 3:
+                self._counters[i] = c + 1
+        elif c > 0:
+            self._counters[i] = c - 1
+
+
+class SetAssocTable:
+    """Set-associative key/value store with true-LRU replacement.
+
+    Each set is a small list ordered MRU-first.  Values are opaque to the
+    table; the caller computes the set index and provides the tag key.
+    """
+
+    __slots__ = ("n_sets", "assoc", "_sets", "hits", "misses")
+
+    def __init__(self, entries: int, assoc: int) -> None:
+        if entries % assoc != 0:
+            raise ValueError(
+                f"entries ({entries}) must be a multiple of assoc ({assoc})")
+        n_sets = entries // assoc
+        if not is_power_of_two(n_sets):
+            raise ValueError(
+                f"number of sets must be a power of two, got {n_sets}")
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self._sets: list[list[tuple[int, object]]] = \
+            [[] for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, index: int, key: int):
+        """Return the value stored under ``key``, promoting it to MRU.
+
+        Returns None on miss.
+        """
+        entries = self._sets[index & (self.n_sets - 1)]
+        for pos, (tag, value) in enumerate(entries):
+            if tag == key:
+                if pos:
+                    entries.insert(0, entries.pop(pos))
+                self.hits += 1
+                return value
+        self.misses += 1
+        return None
+
+    def insert(self, index: int, key: int, value) -> None:
+        """Insert or overwrite ``key``; evicts the LRU entry if full."""
+        entries = self._sets[index & (self.n_sets - 1)]
+        for pos, (tag, _) in enumerate(entries):
+            if tag == key:
+                entries.pop(pos)
+                break
+        entries.insert(0, (key, value))
+        if len(entries) > self.assoc:
+            entries.pop()
+
+    def occupancy(self) -> int:
+        """Total number of valid entries (for tests)."""
+        return sum(len(entries) for entries in self._sets)

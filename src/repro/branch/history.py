@@ -1,0 +1,35 @@
+"""Per-thread speculative global branch history.
+
+The paper notes that an SMT front-end needs "a branch history register
+for each thread".  History is updated *speculatively* with predicted
+directions as fetch requests are generated; on a squash the engine
+restores the checkpoint captured in the offending fetch request and
+re-applies the resolved outcome.
+"""
+
+from __future__ import annotations
+
+
+class GlobalHistory:
+    """A ``bits``-wide global history shift register."""
+
+    __slots__ = ("bits", "_mask", "value")
+
+    def __init__(self, bits: int) -> None:
+        if bits < 1:
+            raise ValueError(f"history needs at least 1 bit, got {bits}")
+        self.bits = bits
+        self._mask = (1 << bits) - 1
+        self.value = 0
+
+    def push(self, taken: bool) -> None:
+        """Shift a direction bit in (speculative or resolved alike)."""
+        self.value = ((self.value << 1) | int(taken)) & self._mask
+
+    def snapshot(self) -> int:
+        """Checkpoint for later :meth:`restore` (cheap: just the value)."""
+        return self.value
+
+    def restore(self, snapshot: int) -> None:
+        """Roll back to a checkpoint taken before a mispredicted branch."""
+        self.value = snapshot & self._mask

@@ -1,0 +1,70 @@
+"""Result bundling: everything a paper figure needs from one simulation.
+
+``SimResult`` snapshots the fetch-side metrics (IPFC — instructions per
+fetch cycle — and the delivered-width distribution), the commit-side
+metrics (IPC, per-thread commit counts), predictor statistics and cache
+miss rates at the end of the measured window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one measured simulation window.
+
+    Attributes:
+        workload: Table 2 workload name (or ad-hoc benchmark list).
+        engine: Fetch engine name.
+        policy: Fetch policy spec string (e.g. ``"ICOUNT.1.16"``).
+        cycles: Measured cycles.
+        committed: Instructions committed in the window.
+        ipc: Commit throughput (the paper's overall metric).
+        ipfc: Fetch throughput in instructions per fetch cycle.
+        fetch_cycles: Cycles in which the fetch unit attempted an access.
+        committed_by_thread: Per-thread commit counts.
+        delivered_at_least: Map n -> fraction of fetch cycles delivering
+            at least n instructions (the paper quotes these for 4/8/16).
+        squashes: Execute-time squash count (mispredictions reaching
+            resolution).
+        decode_redirects: Misfetches repaired at decode.
+        bank_conflicts: I-cache bank conflicts (2.X policies only).
+        wrong_path_fetched: Wrong-path instructions materialised.
+        engine_stats: Engine-specific accuracy/hit-rate map.
+        l1i_miss_rate / l1d_miss_rate / l2_miss_rate: Cache miss rates.
+        avg_rob_occupancy / avg_iq_occupancy: Mean structure occupancy.
+    """
+
+    workload: str
+    engine: str
+    policy: str
+    cycles: int
+    committed: int
+    ipc: float
+    ipfc: float
+    fetch_cycles: int
+    committed_by_thread: tuple[int, ...]
+    delivered_at_least: dict[int, float] = field(default_factory=dict)
+    squashes: int = 0
+    decode_redirects: int = 0
+    bank_conflicts: int = 0
+    wrong_path_fetched: int = 0
+    engine_stats: dict[str, float] = field(default_factory=dict)
+    l1i_miss_rate: float = 0.0
+    l1d_miss_rate: float = 0.0
+    l2_miss_rate: float = 0.0
+    avg_rob_occupancy: float = 0.0
+    avg_iq_occupancy: float = 0.0
+
+    @property
+    def label(self) -> str:
+        """Human-readable identifier for table rows."""
+        return f"{self.workload}/{self.engine}/{self.policy}"
+
+    def per_thread_ipc(self) -> tuple[float, ...]:
+        """Per-thread commit throughput."""
+        if self.cycles == 0:
+            return tuple(0.0 for _ in self.committed_by_thread)
+        return tuple(c / self.cycles for c in self.committed_by_thread)

@@ -1,0 +1,44 @@
+"""Multithreaded workloads (the paper's Table 2).
+
+Workloads mix 2/4/6/8 SPECint2000 benchmarks and are classified by the
+memory behaviour of their members: ILP (compute bound), MEM (memory
+bound — only feasible at 2 and 4 threads given SPECint's composition,
+as the paper notes) and MIX.
+"""
+
+from __future__ import annotations
+
+WORKLOADS: dict[str, tuple[str, ...]] = {
+    "2_ILP": ("eon", "gcc"),
+    "2_MEM": ("mcf", "twolf"),
+    "2_MIX": ("gzip", "twolf"),
+    "4_ILP": ("eon", "gcc", "gzip", "bzip2"),
+    "4_MEM": ("mcf", "twolf", "vpr", "perlbmk"),
+    "4_MIX": ("gzip", "twolf", "bzip2", "mcf"),
+    "6_ILP": ("eon", "gcc", "gzip", "bzip2", "crafty", "vortex"),
+    "6_MIX": ("gzip", "twolf", "bzip2", "mcf", "vpr", "eon"),
+    "8_ILP": ("eon", "gcc", "gzip", "bzip2", "crafty", "vortex", "gap",
+              "parser"),
+    "8_MIX": ("gzip", "twolf", "bzip2", "mcf", "vpr", "eon", "gap",
+              "parser"),
+}
+"""Table 2 of the paper, verbatim."""
+
+ILP_WORKLOADS = ("2_ILP", "4_ILP", "6_ILP", "8_ILP")
+"""The workloads of Figures 5 and 6."""
+
+MEM_WORKLOADS = ("2_MIX", "2_MEM", "4_MIX", "4_MEM", "6_MIX", "8_MIX")
+"""The workloads of Figures 7 and 8, in the paper's plotting order."""
+
+
+def workload_benchmarks(name: str) -> tuple[str, ...]:
+    """Benchmarks of a Table 2 workload.
+
+    Raises KeyError with the valid names for typos.
+    """
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") \
+            from None

@@ -1,0 +1,34 @@
+"""Experiment harness: regenerate every figure of the paper.
+
+``FIGURES`` maps figure ids (``fig2`` ... ``fig8b``) to grid
+specifications; :func:`run_figure` executes the grid (with caching) and
+returns rows in the paper's plotting order; :mod:`paper_data` records
+the paper's claims so results can be checked for *shape* agreement
+(who wins, by roughly what factor) rather than absolute numbers.
+"""
+
+from repro.experiments.figures import FIGURES, FigureSpec
+from repro.experiments.paper_data import PAPER_CLAIMS, Claim
+from repro.experiments.runner import (
+    ClaimOutcome,
+    FigureResult,
+    check_claims,
+    format_claims,
+    format_figure,
+    measure,
+    run_figure,
+)
+
+__all__ = [
+    "Claim",
+    "ClaimOutcome",
+    "FIGURES",
+    "FigureResult",
+    "FigureSpec",
+    "PAPER_CLAIMS",
+    "check_claims",
+    "format_claims",
+    "format_figure",
+    "measure",
+    "run_figure",
+]

@@ -1,0 +1,148 @@
+"""Grid execution, caching, table formatting and claim checking.
+
+Simulations are memoised on ``(workload, engine, policy, cycles, seed)``
+for the lifetime of the process: the figures share most of their grid
+cells, and benchmarks would otherwise re-run them dozens of times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SimConfig
+from repro.core.metrics import SimResult
+from repro.core.simulator import simulate
+from repro.experiments.figures import FigureSpec
+from repro.experiments.paper_data import Claim
+
+DEFAULT_CYCLES = 20_000
+"""Measured window for figure regeneration (per grid cell)."""
+
+_cache: dict[tuple, SimResult] = {}
+
+
+def measure(workload: str, engine: str, policy: str,
+            cycles: int = DEFAULT_CYCLES,
+            config: SimConfig | None = None,
+            warmup: int | None = None) -> SimResult:
+    """Run (or recall) one grid cell."""
+    seed = config.seed if config is not None else 0
+    key = (workload, engine, policy, cycles, seed, warmup,
+           id(config) if config is not None else None)
+    result = _cache.get(key)
+    if result is None:
+        result = simulate(workload, engine=engine, policy=policy,
+                          cycles=cycles, config=config, warmup=warmup)
+        _cache[key] = result
+    return result
+
+
+@dataclass
+class FigureResult:
+    """A regenerated figure: values in the paper's plotting order."""
+
+    spec: FigureSpec
+    cycles: int
+    values: dict[tuple[str, str, str], float] = field(default_factory=dict)
+
+    def value(self, workload: str, engine: str, policy: str) -> float:
+        """The bar height for one (workload, engine, policy) cell."""
+        return self.values[(workload, engine, policy)]
+
+    def average_over_workloads(self, engine: str, policy: str) -> float:
+        """Mean across the figure's workloads (for claim ratios)."""
+        cells = [self.values[(w, engine, policy)]
+                 for w in self.spec.workloads]
+        return sum(cells) / len(cells)
+
+
+def run_figure(spec: FigureSpec, cycles: int = DEFAULT_CYCLES,
+               config: SimConfig | None = None,
+               warmup: int | None = None) -> FigureResult:
+    """Execute a figure's full measurement grid."""
+    out = FigureResult(spec, cycles)
+    for workload in spec.workloads:
+        for engine in spec.engines:
+            for policy in spec.policies:
+                result = measure(workload, engine, policy, cycles, config,
+                                 warmup)
+                metric = result.ipfc if spec.metric == "ipfc" else \
+                    result.ipc
+                out.values[(workload, engine, policy)] = metric
+    return out
+
+
+def format_figure(result: FigureResult) -> str:
+    """ASCII rendering of a figure, bars grouped as in the paper."""
+    spec = result.spec
+    lines = [f"{spec.fig_id}: {spec.title}",
+             f"(metric: {spec.metric.upper()}, {result.cycles} measured "
+             f"cycles per cell)"]
+    header = f"{'workload':10s} {'policy':14s}" + "".join(
+        f"{engine:>13s}" for engine in spec.engines)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for workload in spec.workloads:
+        for policy in spec.policies:
+            cells = "".join(
+                f"{result.value(workload, engine, policy):13.2f}"
+                for engine in spec.engines)
+            lines.append(f"{workload:10s} {policy:14s}{cells}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ClaimOutcome:
+    """Measured counterpart of one paper claim."""
+
+    claim: Claim
+    measured_ratio: float
+
+    @property
+    def holds(self) -> bool:
+        """True when the measured ratio is within the claim tolerance."""
+        return abs(self.measured_ratio - self.claim.paper_ratio) \
+            <= self.claim.tolerance
+
+    @property
+    def direction_holds(self) -> bool:
+        """True when at least the sign of the effect matches."""
+        paper_up = self.claim.paper_ratio >= 1.0
+        return (self.measured_ratio >= 1.0) == paper_up \
+            or abs(self.measured_ratio - 1.0) < 0.02
+
+
+def check_claims(claims: tuple[Claim, ...],
+                 cycles: int = DEFAULT_CYCLES,
+                 config: SimConfig | None = None,
+                 warmup: int | None = None) -> list[ClaimOutcome]:
+    """Measure the grid cells behind each claim and compute its ratio."""
+    outcomes = []
+    for claim in claims:
+        numer_vals = []
+        denom_vals = []
+        for workload in claim.workloads:
+            n = measure(workload, claim.numer[0], claim.numer[1], cycles,
+                        config, warmup)
+            d = measure(workload, claim.denom[0], claim.denom[1], cycles,
+                        config, warmup)
+            numer_vals.append(n.ipfc if claim.metric == "ipfc" else n.ipc)
+            denom_vals.append(d.ipfc if claim.metric == "ipfc" else d.ipc)
+        ratio = (sum(numer_vals) / len(numer_vals)) \
+            / (sum(denom_vals) / len(denom_vals))
+        outcomes.append(ClaimOutcome(claim, ratio))
+    return outcomes
+
+
+def format_claims(outcomes: list[ClaimOutcome]) -> str:
+    """Tabular paper-vs-measured report."""
+    lines = [f"{'claim':34s} {'paper':>7s} {'measured':>9s} {'holds':>6s}"]
+    lines.append("-" * len(lines[0]))
+    for outcome in outcomes:
+        verdict = "yes" if outcome.holds else \
+            ("dir" if outcome.direction_holds else "NO")
+        lines.append(
+            f"{outcome.claim.claim_id:34s} "
+            f"{outcome.claim.paper_ratio:7.3f} "
+            f"{outcome.measured_ratio:9.3f} {verdict:>6s}")
+    return "\n".join(lines)

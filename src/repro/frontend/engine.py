@@ -1,0 +1,82 @@
+"""Fetch engine interface and factory.
+
+A fetch engine owns the (thread-shared) prediction structures and the
+per-thread speculative front-end state, and exposes four operations to
+the fetch unit:
+
+* ``predict(tid, pc, width)`` — form one fetch request, speculatively
+  updating the thread's history/RAS and checkpointing them into the
+  request;
+* ``resolve_branch(di)`` — train target/direction structures with a
+  resolved correct-path branch (called from decode or execute);
+* ``commit(di)`` — commit-side training (the stream builder lives here);
+* ``repair(tid, di)`` — restore speculative state after the squash
+  caused by correct-path branch ``di``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.isa.instruction import DynInst
+
+
+class EngineKind(str, Enum):
+    """The three fetch-engine designs the paper compares."""
+
+    GSHARE_BTB = "gshare+BTB"
+    GSKEW_FTB = "gskew+FTB"
+    STREAM = "stream"
+
+
+class FetchEngine:
+    """Interface shared by the three fetch engines."""
+
+    name = "abstract"
+
+    def predict(self, tid: int, pc: int, width: int):
+        """Form one fetch request for thread ``tid`` starting at ``pc``.
+
+        ``width`` bounds block formation for the single-branch engines
+        (they cannot look past one prediction per cycle).
+        """
+        raise NotImplementedError
+
+    def resolve_branch(self, di: DynInst) -> None:
+        """Train with a resolved correct-path branch."""
+        raise NotImplementedError
+
+    def commit(self, di: DynInst) -> None:
+        """Observe a committed instruction (commit-side training)."""
+        raise NotImplementedError
+
+    def repair(self, tid: int, di: DynInst) -> None:
+        """Repair speculative state after ``di``'s squash."""
+        raise NotImplementedError
+
+    def stats(self) -> dict[str, float]:
+        """Engine-specific statistics (prediction accuracy, hit rates)."""
+        raise NotImplementedError
+
+
+def make_engine(kind: EngineKind | str, n_threads: int,
+                config=None) -> FetchEngine:
+    """Instantiate a fetch engine by kind.
+
+    Args:
+        kind: An :class:`EngineKind` or its string value.
+        n_threads: Hardware thread count (per-thread state replication).
+        config: Optional :class:`repro.core.config.SimConfig`-like object
+            providing predictor sizing; defaults to Table 3 sizes.
+    """
+    # Imported here to avoid circular imports at package load.
+    from repro.frontend.gshare_btb import GShareBtbEngine
+    from repro.frontend.gskew_ftb import GSkewFtbEngine
+    from repro.frontend.stream_engine import StreamFetchEngine
+
+    kind = EngineKind(kind)
+    if kind == EngineKind.GSHARE_BTB:
+        return GShareBtbEngine(n_threads, config)
+    if kind == EngineKind.GSKEW_FTB:
+        return GSkewFtbEngine(n_threads, config)
+    return StreamFetchEngine(n_threads, config)

@@ -1,0 +1,262 @@
+"""The decoupled fetch unit: prediction stage + fetch stage.
+
+Implements Figures 1 and 3 of the paper:
+
+* ``1.X`` — fine-grained, non-simultaneous sharing: one thread predicts
+  and one thread fetches per cycle through a single-ported I-cache;
+* ``2.X`` — simultaneous sharing: two predictions per cycle, two
+  concurrent I-cache accesses with bank-conflict arbitration, and a
+  merge of both threads' instructions into one fetch packet.
+
+The fetch stage *materialises* instructions by walking the basic-block
+dictionary along the predicted path.  The thread's architectural context
+simultaneously tracks the correct path; the first disagreement marks the
+materialised branch with ``diverges`` and everything younger as
+wrong-path, to be squashed when that branch resolves (at decode for
+misfetched direct jumps/calls, at execute otherwise).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.frontend.engine import FetchEngine
+from repro.frontend.ftq import FetchTargetQueue
+from repro.frontend.policy import FetchPolicy, PolicySpec
+from repro.frontend.request import FetchRequest
+from repro.isa.instruction import INSTR_BYTES, BranchKind, DynInst
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.context import ThreadContext
+
+_DECODE_RESOLVABLE = (BranchKind.JUMP, BranchKind.CALL)
+
+
+class FetchStats:
+    """Counters the paper's fetch-side metrics are computed from."""
+
+    __slots__ = ("fetch_cycles", "fetched_instructions", "predictions",
+                 "bank_conflicts", "icache_miss_blocks", "wrong_path_fetched",
+                 "delivered_histogram", "squash_redirects",
+                 "decode_redirects")
+
+    def __init__(self, max_width: int = 32) -> None:
+        self.fetch_cycles = 0
+        self.fetched_instructions = 0
+        self.predictions = 0
+        self.bank_conflicts = 0
+        self.icache_miss_blocks = 0
+        self.wrong_path_fetched = 0
+        self.delivered_histogram = [0] * (max_width + 1)
+        self.squash_redirects = 0
+        self.decode_redirects = 0
+
+    @property
+    def ipfc(self) -> float:
+        """Instructions per fetch cycle — the paper's fetch throughput."""
+        if self.fetch_cycles == 0:
+            return 0.0
+        return self.fetched_instructions / self.fetch_cycles
+
+    def delivered_at_least(self, n: int) -> float:
+        """Fraction of fetch cycles delivering >= ``n`` instructions."""
+        if self.fetch_cycles == 0:
+            return 0.0
+        count = sum(self.delivered_histogram[n:])
+        return count / self.fetch_cycles
+
+
+class FetchUnit:
+    """Two-stage decoupled front-end shared by all hardware threads."""
+
+    def __init__(self, engine: FetchEngine, spec: PolicySpec,
+                 policy: FetchPolicy, memory: MemoryHierarchy,
+                 contexts: list[ThreadContext], icounts: list[int],
+                 fetch_buffer_capacity: int = 32, ftq_depth: int = 4,
+                 line_bytes: int = 64) -> None:
+        n = len(contexts)
+        self.engine = engine
+        self.spec = spec
+        self.policy = policy
+        self.memory = memory
+        self.contexts = contexts
+        self.icounts = icounts
+        self.ftqs = [FetchTargetQueue(ftq_depth) for _ in range(n)]
+        self.next_pc = [ctx.program.entry_addr for ctx in contexts]
+        self.blocked_until = [0] * n
+        self.seq = [0] * n
+        self.fetch_buffer: deque[DynInst] = deque()
+        self.fetch_buffer_capacity = fetch_buffer_capacity
+        self.line_instrs = line_bytes // INSTR_BYTES
+        self.stats = FetchStats(max_width=max(self.spec.width,
+                                              self.line_instrs))
+
+    # ------------------------------------------------------------------
+    # prediction stage
+    # ------------------------------------------------------------------
+
+    def predict_stage(self, cycle: int) -> None:
+        """Generate one fetch request per selected thread."""
+        candidates = [t for t in range(len(self.contexts))
+                      if not self.ftqs[t].full]
+        if not candidates:
+            return
+        order = self.policy.order(cycle, candidates, self.icounts)
+        for tid in order[:self.spec.threads_per_cycle]:
+            request = self.engine.predict(tid, self.next_pc[tid],
+                                          self.spec.width)
+            self.ftqs[tid].push(request)
+            self.next_pc[tid] = request.next_pc
+            self.stats.predictions += 1
+
+    # ------------------------------------------------------------------
+    # fetch stage
+    # ------------------------------------------------------------------
+
+    def fetch_stage(self, cycle: int) -> None:
+        """Drive I-cache accesses for the policy-selected threads."""
+        buffer_space = self.fetch_buffer_capacity - len(self.fetch_buffer)
+        if buffer_space <= 0:
+            return                      # fetch stalled behind decode
+        candidates = [t for t in range(len(self.contexts))
+                      if not self.ftqs[t].empty
+                      and self.blocked_until[t] <= cycle]
+        if not candidates:
+            return
+        order = self.policy.order(cycle, candidates, self.icounts)
+
+        width_left = self.spec.width
+        slots = self.spec.threads_per_cycle
+        banks_in_use: set[int] = set()
+        attempted = False
+        delivered_total = 0
+        for tid in order:
+            if slots <= 0 or width_left <= 0 or buffer_space <= 0:
+                break
+            slots -= 1
+            request = self.ftqs[tid].head()
+            pc = request.current_pc
+            bank = self.memory.ibank_of(pc, tid)
+            if self.spec.threads_per_cycle > 1 and bank in banks_in_use:
+                self.stats.bank_conflicts += 1
+                continue                # slot wasted on the conflict
+            banks_in_use.add(bank)
+            access = self.memory.ifetch(tid, pc, cycle)
+            attempted = True
+            if not access.hit:
+                self.blocked_until[tid] = access.ready_cycle
+                self.stats.icache_miss_blocks += 1
+                continue
+            to_line_end = self.line_instrs \
+                - ((pc >> 2) & (self.line_instrs - 1))
+            count = min(request.remaining, width_left, buffer_space,
+                        to_line_end)
+            made = self._materialize(tid, request, pc, count, cycle)
+            width_left -= made
+            buffer_space -= made
+            delivered_total += made
+            if request.remaining == 0:
+                self.ftqs[tid].pop_head()
+        if attempted:
+            self.stats.fetch_cycles += 1
+            self.stats.fetched_instructions += delivered_total
+            self.stats.delivered_histogram[delivered_total] += 1
+
+    def _materialize(self, tid: int, request: FetchRequest, pc: int,
+                     count: int, cycle: int) -> int:
+        """Create up to ``count`` DynInsts along the predicted path."""
+        ctx = self.contexts[tid]
+        program = ctx.program
+        delivered = 0
+        for _ in range(count):
+            static = program.instr_at(pc)
+            if static is None:
+                # Wrong-path fetch ran past the program image; abandon
+                # the request (the squash will redirect the thread).
+                request.consumed = request.length
+                break
+            di = DynInst(tid, self.seq[tid], static, cycle)
+            self.seq[tid] += 1
+            di.request = request
+            is_terminator = request.consumed == request.length - 1
+            bogus_terminator = False
+            if is_terminator and request.term_is_branch:
+                if static.is_branch:
+                    di.pred_taken = request.term_taken
+                    di.pred_target = request.term_target
+                elif request.term_taken and not ctx.diverged:
+                    # Stale/aliased entry predicted a taken branch at a
+                    # non-branch: the fetch path jumps to term_target but
+                    # the architectural path falls through.  Detectable
+                    # as soon as the instruction is decoded.
+                    bogus_terminator = True
+            if ctx.diverged:
+                di.on_correct_path = False
+                self.stats.wrong_path_fetched += 1
+                if static.is_branch:
+                    # Wrong-path branches resolve as predicted (standard
+                    # trace-driven practice): no nested squashes.
+                    di.actual_taken = di.pred_taken
+                    di.actual_target = di.pred_target
+                if static.memgen >= 0:
+                    di.mem_addr = ctx.data_address(static,
+                                                   correct_path=False)
+            else:
+                taken, target = ctx.step(static)
+                if static.is_branch:
+                    di.actual_taken = taken
+                    di.actual_target = target
+                    fall = static.addr + INSTR_BYTES
+                    pred_next = di.pred_target if di.pred_taken else fall
+                    true_next = target if taken else fall
+                    if pred_next != true_next:
+                        di.diverges = True
+                        di.resolve_at_decode = (
+                            static.kind in _DECODE_RESOLVABLE
+                            and not di.pred_taken)
+                        ctx.mark_diverged()
+                elif bogus_terminator:
+                    di.diverges = True
+                    di.resolve_at_decode = True
+                    ctx.mark_diverged()
+                if static.memgen >= 0:
+                    di.mem_addr = ctx.data_address(static,
+                                                   correct_path=True)
+            self.fetch_buffer.append(di)
+            self.icounts[tid] += 1
+            request.consumed += 1
+            pc += INSTR_BYTES
+            delivered += 1
+        return delivered
+
+    # ------------------------------------------------------------------
+    # squash recovery
+    # ------------------------------------------------------------------
+
+    def redirect(self, tid: int, resume_pc: int, di: DynInst,
+                 at_decode: bool = False) -> None:
+        """Restart thread ``tid`` at the architectural PC after a squash.
+
+        Clears the FTQ and any fetch-buffer remnants of the thread,
+        repairs the engine's speculative state from ``di``'s request
+        checkpoints and unblocks a (wrong-path) I-cache miss.
+        """
+        self.ftqs[tid].clear()
+        self.next_pc[tid] = resume_pc
+        self.blocked_until[tid] = 0
+        self.engine.repair(tid, di)
+        kept: list[DynInst] = []
+        removed = 0
+        for entry in self.fetch_buffer:
+            if entry.tid == tid and entry.seq > di.seq:
+                entry.squashed = True
+                removed += 1
+            else:
+                kept.append(entry)
+        if removed:
+            self.fetch_buffer.clear()
+            self.fetch_buffer.extend(kept)
+            self.icounts[tid] -= removed
+        if at_decode:
+            self.stats.decode_redirects += 1
+        else:
+            self.stats.squash_redirects += 1

@@ -1,0 +1,57 @@
+"""Per-thread Fetch Target Queue.
+
+Table 3: 4 entries, replicated per thread.  The FTQ decouples the
+prediction stage from the fetch stage: the predictor can run ahead while
+a thread's fetch is blocked on an I-cache miss, and the fetch stage can
+drain a multi-line request over several cycles while predictions queue
+behind it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.frontend.request import FetchRequest
+
+
+class FetchTargetQueue:
+    """Bounded FIFO of fetch requests for one thread."""
+
+    __slots__ = ("capacity", "_queue")
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError(f"FTQ capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._queue: deque[FetchRequest] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        """True when no request can be pushed this cycle."""
+        return len(self._queue) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """True when the fetch stage has nothing to consume."""
+        return not self._queue
+
+    def push(self, request: FetchRequest) -> None:
+        """Append a prediction-stage request."""
+        if self.full:
+            raise OverflowError("push into a full FTQ")
+        self._queue.append(request)
+
+    def head(self) -> FetchRequest:
+        """The request the fetch stage is currently draining."""
+        return self._queue[0]
+
+    def pop_head(self) -> FetchRequest:
+        """Retire a fully-consumed request."""
+        return self._queue.popleft()
+
+    def clear(self) -> None:
+        """Drop everything (squash recovery)."""
+        self._queue.clear()

@@ -1,0 +1,118 @@
+"""The conventional SMT fetch engine: gshare direction + BTB targets.
+
+Block formation (paper Section 3.1): one direction prediction per cycle,
+so a fetch block runs from the current PC to the first address that hits
+in the BTB — at most one basic block, the bottleneck Figure 2 measures.
+Branches absent from the BTB are invisible at fetch (implicitly
+predicted not-taken); they are inserted when they resolve.
+"""
+
+from __future__ import annotations
+
+from repro.branch.btb import BTB
+from repro.branch.gshare import GShare
+from repro.branch.history import GlobalHistory
+from repro.branch.ras import ReturnAddressStack
+from repro.frontend.engine import FetchEngine
+from repro.frontend.request import FetchRequest
+from repro.isa.instruction import INSTR_BYTES, BranchKind, DynInst
+
+
+class GShareBtbEngine(FetchEngine):
+    """gshare (64K, 16-bit history) + BTB (2K, 4-way) + per-thread RAS."""
+
+    name = "gshare+BTB"
+
+    def __init__(self, n_threads: int, config=None) -> None:
+        gshare_entries = getattr(config, "gshare_entries", 64 * 1024)
+        gshare_history = getattr(config, "gshare_history", 6)
+        btb_entries = getattr(config, "btb_entries", 2048)
+        btb_assoc = getattr(config, "btb_assoc", 4)
+        ras_entries = getattr(config, "ras_entries", 64)
+        self.n_threads = n_threads
+        self.gshare = GShare(gshare_entries, gshare_history)
+        self.btb = BTB(btb_entries, btb_assoc)
+        self.ghr = [GlobalHistory(gshare_history) for _ in range(n_threads)]
+        self.ras = [ReturnAddressStack(ras_entries)
+                    for _ in range(n_threads)]
+
+    def predict(self, tid: int, pc: int, width: int) -> FetchRequest:
+        """Scan up to ``width`` addresses; stop at the first BTB hit."""
+        ghr = self.ghr[tid]
+        ras = self.ras[tid]
+        ghr_ckpt = ghr.snapshot()
+        ras_ckpt = ras.snapshot()
+
+        entry = None
+        length = width
+        for i in range(width):
+            addr = pc + i * INSTR_BYTES
+            entry = self.btb.lookup(addr, tid)
+            if entry is not None:
+                length = i + 1
+                break
+        if entry is None:
+            return FetchRequest(tid, pc, width, pc + width * INSTR_BYTES,
+                                ghr_ckpt=ghr_ckpt, ras_ckpt=ras_ckpt)
+
+        term_addr = pc + (length - 1) * INSTR_BYTES
+        kind = entry.kind
+        if kind == BranchKind.COND:
+            taken = self.gshare.predict(term_addr, ghr.value)
+            ghr.push(taken)
+            target = entry.target
+        elif kind == BranchKind.RET:
+            taken, target = True, ras.pop()
+        elif kind == BranchKind.CALL:
+            taken, target = True, entry.target
+            ras.push(term_addr + INSTR_BYTES)
+        else:                       # JUMP / IND_JUMP: last seen target
+            taken, target = True, entry.target
+        next_pc = target if taken else term_addr + INSTR_BYTES
+        return FetchRequest(tid, pc, length, next_pc,
+                            term_is_branch=True, term_taken=taken,
+                            term_target=target,
+                            ghr_ckpt=ghr_ckpt, ras_ckpt=ras_ckpt)
+
+    def resolve_branch(self, di: DynInst) -> None:
+        """Insert every resolved branch into the BTB; train gshare."""
+        static = di.static
+        if di.actual_taken:
+            target = di.actual_target
+        elif static.target_addr:
+            target = static.target_addr
+        else:
+            target = static.addr + INSTR_BYTES
+        self.btb.insert(di.pc, target, static.kind, di.tid)
+        if static.kind == BranchKind.COND and di.request is not None:
+            self.gshare.update(di.pc, di.request.ghr_ckpt, di.actual_taken,
+                               predicted=di.pred_taken)
+
+    def commit(self, di: DynInst) -> None:
+        """No commit-side training for this engine."""
+
+    def repair(self, tid: int, di: DynInst) -> None:
+        """Restore GHR and RAS, then re-apply ``di``'s own effect."""
+        request = di.request
+        if request is None:
+            return
+        ghr = self.ghr[tid]
+        ras = self.ras[tid]
+        if request.ghr_ckpt is not None:
+            ghr.restore(request.ghr_ckpt)
+        if di.static.kind == BranchKind.COND:
+            ghr.push(di.actual_taken)
+        if request.ras_ckpt is not None:
+            ras.restore(request.ras_ckpt)
+        if di.static.kind == BranchKind.CALL:
+            ras.push(di.pc + INSTR_BYTES)
+        elif di.static.kind == BranchKind.RET:
+            ras.pop()
+
+    def stats(self) -> dict[str, float]:
+        """Direction accuracy and BTB hit rate."""
+        probes = self.btb.hits + self.btb.misses
+        return {
+            "direction_accuracy": self.gshare.accuracy,
+            "btb_hit_rate": self.btb.hits / probes if probes else 0.0,
+        }

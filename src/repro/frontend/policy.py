@@ -1,0 +1,93 @@
+"""Fetch policies: which threads predict and fetch each cycle.
+
+The paper's notation ``POLICY.N.X`` means "up to X instructions total
+from up to N threads per cycle" (Tullsen et al.).  ``ICOUNT`` prioritises
+the threads with the fewest instructions in the pre-issue stages of the
+pipeline — balancing queue occupancy and starving threads that clog the
+machine; ``RR`` rotates priority blindly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Parsed ``"ICOUNT.2.8"``-style policy specification.
+
+    Attributes:
+        name: ``"ICOUNT"`` or ``"RR"``.
+        threads_per_cycle: N — threads fetched simultaneously (1 or 2 in
+            the paper).
+        width: X — total instructions fetched per cycle.
+    """
+
+    name: str
+    threads_per_cycle: int
+    width: int
+
+    @classmethod
+    def parse(cls, spec: str) -> "PolicySpec":
+        """Parse ``"ICOUNT.1.16"`` into a :class:`PolicySpec`."""
+        parts = spec.strip().upper().split(".")
+        if len(parts) != 3:
+            raise ValueError(
+                f"policy spec must look like 'ICOUNT.2.8', got {spec!r}")
+        name, n, x = parts
+        if name not in ("ICOUNT", "RR"):
+            raise ValueError(f"unknown fetch policy {name!r}")
+        threads = int(n)
+        width = int(x)
+        if threads < 1 or width < 1:
+            raise ValueError(f"bad policy parameters in {spec!r}")
+        return cls(name, threads, width)
+
+    def __str__(self) -> str:
+        return f"{self.name}.{self.threads_per_cycle}.{self.width}"
+
+    def make(self, n_threads: int) -> "FetchPolicy":
+        """Instantiate the policy object for ``n_threads`` contexts."""
+        if self.name == "RR":
+            return RoundRobin(n_threads)
+        return ICount(n_threads)
+
+
+class FetchPolicy:
+    """Interface: order candidate threads by fetch priority."""
+
+    def order(self, cycle: int, candidates: list[int],
+              icounts: list[int]) -> list[int]:
+        """Return ``candidates`` sorted best-first for this cycle."""
+        raise NotImplementedError
+
+
+class RoundRobin(FetchPolicy):
+    """Rotate priority across threads each cycle (Tullsen's RR)."""
+
+    def __init__(self, n_threads: int) -> None:
+        self.n_threads = n_threads
+
+    def order(self, cycle: int, candidates: list[int],
+              icounts: list[int]) -> list[int]:
+        start = cycle % self.n_threads
+        return sorted(candidates,
+                      key=lambda t: (t - start) % self.n_threads)
+
+
+class ICount(FetchPolicy):
+    """Prioritise threads with the fewest pre-issue instructions.
+
+    Ties break round-robin so equally-empty threads share the front end
+    fairly instead of thread 0 monopolising it.
+    """
+
+    def __init__(self, n_threads: int) -> None:
+        self.n_threads = n_threads
+
+    def order(self, cycle: int, candidates: list[int],
+              icounts: list[int]) -> list[int]:
+        start = cycle % self.n_threads
+        return sorted(candidates,
+                      key=lambda t: (icounts[t],
+                                     (t - start) % self.n_threads))

@@ -1,0 +1,140 @@
+"""The stream fetch engine (paper Section 3.3, Ramirez et al. 2002).
+
+One prediction names a whole *instruction stream* — from a taken-branch
+target to the next taken branch, embedding every not-taken conditional
+on the way.  Streams average well over a basic block (Table 1 vs. the
+stream-length statistics in :mod:`repro.trace.walker`), so a single
+thread can fill a 16-wide fetch path over several sequential I-cache
+accesses: the property that makes ICOUNT.1.16 competitive with 2.X
+policies at far lower complexity.
+
+There is no separate direction predictor: direction is implicit (a
+stream *ends* at a taken branch).  Training happens at commit in the
+per-thread stream builder; the speculative DOLC path history is
+checkpointed per request and repaired on squashes.
+"""
+
+from __future__ import annotations
+
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.stream import MAX_STREAM_LENGTH, DolcHistory, \
+    StreamPredictor
+from repro.frontend.engine import FetchEngine
+from repro.frontend.request import FetchRequest
+from repro.isa.instruction import INSTR_BYTES, BranchKind, DynInst
+
+
+class _StreamBuilder:
+    """Commit-side stream reconstruction for one thread."""
+
+    __slots__ = ("start", "count", "history")
+
+    def __init__(self, entry_addr: int) -> None:
+        self.start = entry_addr
+        self.count = 0
+        self.history = DolcHistory()
+
+    def observe(self, di: DynInst, predictor: StreamPredictor) -> None:
+        self.count += 1
+        if di.is_branch and di.actual_taken:
+            predictor.update(self.start, self.count, di.actual_target,
+                             di.static.kind, self.history, di.tid)
+            self.history.push(self.start)
+            self.start = di.actual_target
+            self.count = 0
+        elif self.count >= MAX_STREAM_LENGTH:
+            # Overlong sequential run: split into a pseudo-stream that
+            # continues sequentially (kind NOT_BRANCH).
+            next_pc = di.pc + INSTR_BYTES
+            predictor.update(self.start, self.count, next_pc,
+                             BranchKind.NOT_BRANCH, self.history, di.tid)
+            self.history.push(self.start)
+            self.start = next_pc
+            self.count = 0
+
+
+class StreamFetchEngine(FetchEngine):
+    """Cascaded stream predictor (1K + 4K, 4-way) + per-thread RAS."""
+
+    name = "stream"
+
+    def __init__(self, n_threads: int, config=None) -> None:
+        first = getattr(config, "stream_l1_entries", 1024)
+        second = getattr(config, "stream_l2_entries", 4096)
+        assoc = getattr(config, "stream_assoc", 4)
+        ras_entries = getattr(config, "ras_entries", 64)
+        self.n_threads = n_threads
+        self.predictor = StreamPredictor(first, second, assoc)
+        self.dolc = [DolcHistory() for _ in range(n_threads)]
+        self.ras = [ReturnAddressStack(ras_entries)
+                    for _ in range(n_threads)]
+        self._builders: list[_StreamBuilder | None] = [None] * n_threads
+
+    def predict(self, tid: int, pc: int, width: int) -> FetchRequest:
+        """Predict the whole stream starting at ``pc``."""
+        dolc = self.dolc[tid]
+        ras = self.ras[tid]
+        dolc_ckpt = dolc.snapshot()
+        ras_ckpt = ras.snapshot()
+
+        entry = self.predictor.lookup(pc, dolc, tid)
+        if entry is None:
+            # Cold stream: sequential fallback, trained at commit.
+            return FetchRequest(tid, pc, width, pc + width * INSTR_BYTES,
+                                ras_ckpt=ras_ckpt, dolc_ckpt=dolc_ckpt)
+
+        length = entry.length
+        term_addr = pc + (length - 1) * INSTR_BYTES
+        kind = entry.kind
+        if kind == BranchKind.NOT_BRANCH:
+            # Split pseudo-stream: continues sequentially, no branch.
+            dolc.push(pc)
+            return FetchRequest(tid, pc, length,
+                                pc + length * INSTR_BYTES,
+                                ras_ckpt=ras_ckpt, dolc_ckpt=dolc_ckpt)
+        if kind == BranchKind.RET:
+            target = ras.pop()
+        else:
+            target = entry.target
+        if kind == BranchKind.CALL:
+            ras.push(term_addr + INSTR_BYTES)
+        dolc.push(pc)
+        return FetchRequest(tid, pc, length, target,
+                            term_is_branch=True, term_taken=True,
+                            term_target=target,
+                            ras_ckpt=ras_ckpt, dolc_ckpt=dolc_ckpt)
+
+    def resolve_branch(self, di: DynInst) -> None:
+        """No resolve-time training: streams are built at commit."""
+
+    def commit(self, di: DynInst) -> None:
+        """Feed the committed instruction to the thread's stream builder."""
+        builder = self._builders[di.tid]
+        if builder is None:
+            # First committed instruction defines the first stream start.
+            builder = _StreamBuilder(di.pc)
+            self._builders[di.tid] = builder
+        builder.observe(di, self.predictor)
+
+    def repair(self, tid: int, di: DynInst) -> None:
+        """Restore DOLC path history and RAS after a squash."""
+        request = di.request
+        if request is None:
+            return
+        if request.dolc_ckpt is not None:
+            self.dolc[tid].restore(request.dolc_ckpt)
+        if request.ras_ckpt is not None:
+            self.ras[tid].restore(request.ras_ckpt)
+        if di.static.kind == BranchKind.CALL:
+            self.ras[tid].push(di.pc + INSTR_BYTES)
+        elif di.static.kind == BranchKind.RET:
+            self.ras[tid].pop()
+
+    def stats(self) -> dict[str, float]:
+        """Stream table hit rates."""
+        lookups = self.predictor.lookups or 1
+        return {
+            "stream_hit_rate": (self.predictor.first_hits
+                                + self.predictor.second_hits) / lookups,
+            "stream_l2_share": self.predictor.second_hits / lookups,
+        }

@@ -1,0 +1,183 @@
+"""Static and dynamic instruction objects.
+
+``StaticInstruction`` is one entry of the basic-block dictionary: the
+immutable description of an instruction at a fixed address.  ``DynInst``
+is one *fetched instance* of a static instruction flowing through the
+pipeline — possibly on the wrong path.  Both use ``__slots__``; the
+simulator creates millions of ``DynInst`` objects per run.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+INSTR_BYTES = 4
+"""Instruction size in bytes (fixed-width RISC encoding)."""
+
+
+class InstrClass(IntEnum):
+    """Functional class of an instruction; selects queue, FU and latency."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    FP_ALU = 2
+    LOAD = 3
+    STORE = 4
+    BRANCH = 5
+
+
+class BranchKind(IntEnum):
+    """Control-flow kind. ``NOT_BRANCH`` marks ordinary instructions."""
+
+    NOT_BRANCH = 0
+    COND = 1        # conditional direct branch
+    JUMP = 2        # unconditional direct jump
+    CALL = 3        # direct call (pushes return address)
+    RET = 4         # return (pops return address)
+    IND_JUMP = 5    # indirect jump (e.g. switch table)
+
+
+_LATENCY = {
+    InstrClass.INT_ALU: 1,
+    InstrClass.INT_MUL: 3,
+    InstrClass.FP_ALU: 4,
+    InstrClass.LOAD: 1,    # address generation; cache latency added at issue
+    InstrClass.STORE: 1,   # address generation; data drains via write buffer
+    InstrClass.BRANCH: 1,
+}
+
+
+def execution_latency(opclass: InstrClass) -> int:
+    """Return the fixed functional-unit latency of ``opclass`` in cycles.
+
+    Loads add the data-cache access latency on top of this at issue time.
+    """
+    return _LATENCY[opclass]
+
+
+class StaticInstruction:
+    """An instruction at a fixed code address inside a basic block.
+
+    Attributes:
+        sid: Globally unique static id within its program.
+        addr: Code address (4-byte aligned).
+        opclass: Functional class.
+        kind: Branch kind (``NOT_BRANCH`` for non-branches).
+        dest: Destination architectural register, or ``-1``.
+        srcs: Source architectural registers (possibly empty tuple).
+        target_addr: Static taken-target address for direct branches
+            (``0`` for non-branches, returns and indirect jumps).
+        behavior: Index into the program's behaviour table for conditional
+            and indirect branches, ``-1`` otherwise.
+        memgen: Index into the program's address-generator table for loads
+            and stores, ``-1`` otherwise.
+    """
+
+    __slots__ = ("sid", "addr", "opclass", "kind", "dest", "srcs",
+                 "target_addr", "behavior", "memgen")
+
+    def __init__(self, sid: int, addr: int, opclass: InstrClass,
+                 kind: BranchKind = BranchKind.NOT_BRANCH,
+                 dest: int = -1, srcs: tuple[int, ...] = (),
+                 target_addr: int = 0, behavior: int = -1,
+                 memgen: int = -1) -> None:
+        self.sid = sid
+        self.addr = addr
+        self.opclass = opclass
+        self.kind = kind
+        self.dest = dest
+        self.srcs = srcs
+        self.target_addr = target_addr
+        self.behavior = behavior
+        self.memgen = memgen
+
+    @property
+    def is_branch(self) -> bool:
+        """True for any control-flow instruction."""
+        return self.kind != BranchKind.NOT_BRANCH
+
+    @property
+    def fall_addr(self) -> int:
+        """Address of the sequentially next instruction."""
+        return self.addr + INSTR_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StaticInstruction(sid={self.sid}, addr={self.addr:#x}, "
+                f"{self.opclass.name}, {self.kind.name})")
+
+
+class DynInst:
+    """One fetched instance of a static instruction.
+
+    Carries the speculative-control-flow bookkeeping the front-end needs
+    (predicted vs. architectural outcome, divergence marker) and the
+    execution-core bookkeeping (producers, completion state).
+
+    Attributes:
+        tid: Hardware thread (context) id.
+        seq: Per-thread monotonically increasing fetch sequence number.
+        static: The static instruction this instance executes.
+        pc: Fetch address (equals ``static.addr``).
+        on_correct_path: False once the thread's front-end has diverged.
+        pred_taken / pred_target: Prediction attached by the fetch engine
+            (``False``/``0`` for instructions predicted fall-through).
+        actual_taken / actual_target: Architectural outcome — only
+            meaningful for correct-path branches.
+        diverges: True if this is the (unique, oldest) branch whose
+            misprediction makes everything younger wrong-path.
+        resolve_at_decode: True when the divergence is a misfetched direct
+            jump/call, repairable as soon as the instruction is decoded.
+        mem_addr: Effective address for loads and stores, ``0`` otherwise.
+        request: The fetch request that materialised the instruction
+            (holds front-end repair checkpoints).
+    """
+
+    __slots__ = ("tid", "seq", "static", "pc",
+                 "on_correct_path", "pred_taken", "pred_target",
+                 "actual_taken", "actual_target", "diverges",
+                 "resolve_at_decode", "mem_addr", "request",
+                 "producers", "issued", "completed", "squashed",
+                 "fetch_cycle", "complete_cycle")
+
+    def __init__(self, tid: int, seq: int, static: StaticInstruction,
+                 fetch_cycle: int = 0) -> None:
+        self.tid = tid
+        self.seq = seq
+        self.static = static
+        self.pc = static.addr
+        self.on_correct_path = True
+        self.pred_taken = False
+        self.pred_target = 0
+        self.actual_taken = False
+        self.actual_target = 0
+        self.diverges = False
+        self.resolve_at_decode = False
+        self.mem_addr = 0
+        self.request = None
+        self.producers = ()
+        self.issued = False
+        self.completed = False
+        self.squashed = False
+        self.fetch_cycle = fetch_cycle
+        self.complete_cycle = -1
+
+    @property
+    def is_branch(self) -> bool:
+        """True for any control-flow instruction."""
+        return self.static.kind != BranchKind.NOT_BRANCH
+
+    @property
+    def opclass(self) -> InstrClass:
+        """Functional class of the underlying static instruction."""
+        return self.static.opclass
+
+    def next_pc_actual(self) -> int:
+        """Architectural next PC (only valid for correct-path instances)."""
+        if self.actual_taken:
+            return self.actual_target
+        return self.pc + INSTR_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        path = "ok" if self.on_correct_path else "wrong"
+        return (f"DynInst(t{self.tid} seq={self.seq} pc={self.pc:#x} "
+                f"{self.static.opclass.name} {path})")

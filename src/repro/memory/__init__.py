@@ -1,0 +1,18 @@
+"""Memory hierarchy substrate.
+
+Implements Table 3's memory system: 32KB 2-way 8-bank L1 instruction and
+data caches, a 1MB 2-way 8-bank 10-cycle unified L2, 64-byte lines,
+100-cycle main memory, 48-entry I-TLB / 128-entry D-TLB, per-thread
+I-side miss handling and a shared D-side MSHR file.
+
+Threads run distinct programs in distinct address spaces; cache tags
+carry an ASID so threads *share capacity* (and thrash each other) the
+way the paper's workloads do, without false sharing of lines.
+"""
+
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+from repro.memory.mshr import MshrFile
+from repro.memory.tlb import Tlb
+
+__all__ = ["AccessResult", "Cache", "MemoryHierarchy", "MshrFile", "Tlb"]

@@ -1,0 +1,106 @@
+"""Set-associative, banked cache model.
+
+Timing-independent: the cache answers hit/miss and tracks line state
+(LRU, fills); latencies are composed by
+:class:`repro.memory.hierarchy.MemoryHierarchy`.  Banking only matters
+for port conflicts, exposed via :meth:`Cache.bank_of` and used by the
+fetch unit when two threads access the I-cache in the same cycle (the
+paper's 2.X complexity discussion).
+"""
+
+from __future__ import annotations
+
+from repro.branch.common import is_power_of_two
+
+_MAX_ASID = 64
+
+
+class Cache:
+    """One level of set-associative cache with true-LRU replacement."""
+
+    __slots__ = ("name", "size_bytes", "assoc", "line_bytes", "banks",
+                 "n_sets", "_set_mask", "_line_shift", "_sets",
+                 "hits", "misses")
+
+    def __init__(self, name: str, size_bytes: int, assoc: int,
+                 line_bytes: int = 64, banks: int = 8) -> None:
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"assoc*line ({assoc}x{line_bytes})")
+        n_sets = size_bytes // (assoc * line_bytes)
+        if not is_power_of_two(n_sets):
+            raise ValueError(f"{name}: set count {n_sets} not a power of 2")
+        if not is_power_of_two(line_bytes):
+            raise ValueError(f"{name}: line size must be a power of 2")
+        if not is_power_of_two(banks):
+            raise ValueError(f"{name}: bank count must be a power of 2")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.banks = banks
+        self.n_sets = n_sets
+        self._set_mask = n_sets - 1
+        self._line_shift = line_bytes.bit_length() - 1
+        # Each set is a list of line keys ordered MRU-first.
+        self._sets: list[list[int]] = [[] for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, addr: int, asid: int) -> tuple[int, int]:
+        # The ASID perturbs the set index (not just the tag): threads run
+        # distinct programs laid out at identical virtual addresses, and
+        # a physically-indexed cache would spread them across sets.
+        # Without this, >= 3 threads thrash every 2-way set they share.
+        line = addr >> self._line_shift
+        index = (line ^ (asid * 0x9E37)) & self._set_mask
+        return index, line * _MAX_ASID + asid
+
+    def probe(self, addr: int, asid: int) -> bool:
+        """Look up the line holding ``addr``; updates LRU and stats."""
+        index, key = self._key(addr, asid)
+        lines = self._sets[index]
+        try:
+            pos = lines.index(key)
+        except ValueError:
+            self.misses += 1
+            return False
+        if pos:
+            lines.insert(0, lines.pop(pos))
+        self.hits += 1
+        return True
+
+    def fill(self, addr: int, asid: int) -> None:
+        """Install the line holding ``addr`` (evicting LRU if needed)."""
+        index, key = self._key(addr, asid)
+        lines = self._sets[index]
+        if key in lines:
+            lines.remove(key)
+        lines.insert(0, key)
+        if len(lines) > self.assoc:
+            lines.pop()
+
+    def contains(self, addr: int, asid: int) -> bool:
+        """Presence check without touching LRU or stats (for tests)."""
+        index, key = self._key(addr, asid)
+        return key in self._sets[index]
+
+    def bank_of(self, addr: int, asid: int = 0) -> int:
+        """Bank servicing ``addr`` (line-interleaved banking).
+
+        The ASID is mixed in for the same physical-indexing reason as
+        the set index: otherwise two threads at the same virtual PC
+        would conflict on every simultaneous access.
+        """
+        return ((addr >> self._line_shift) ^ (asid * 5)) & (self.banks - 1)
+
+    @property
+    def accesses(self) -> int:
+        """Total probes."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss fraction over all probes."""
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,47 @@
+"""Translation lookaside buffers.
+
+Table 3: 48-entry instruction TLB and 128-entry data TLB.  Modelled as
+fully-associative LRU over (ASID, virtual page); a miss charges a fixed
+page-walk penalty on top of the access (the paper does not specify one —
+we use 30 cycles, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+DEFAULT_PAGE_BYTES = 8192
+DEFAULT_MISS_PENALTY = 30
+
+
+class Tlb:
+    """Fully-associative, LRU translation buffer."""
+
+    __slots__ = ("entries", "page_bytes", "miss_penalty", "_page_shift",
+                 "_order", "hits", "misses")
+
+    def __init__(self, entries: int, page_bytes: int = DEFAULT_PAGE_BYTES,
+                 miss_penalty: int = DEFAULT_MISS_PENALTY) -> None:
+        if entries < 1:
+            raise ValueError(f"TLB needs at least one entry, got {entries}")
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self.miss_penalty = miss_penalty
+        self._page_shift = page_bytes.bit_length() - 1
+        # dict preserves insertion order: oldest first, MRU re-appended.
+        self._order: dict[tuple[int, int], None] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int, asid: int) -> int:
+        """Translate; returns the added latency (0 on hit)."""
+        key = (asid, addr >> self._page_shift)
+        if key in self._order:
+            del self._order[key]
+            self._order[key] = None
+            self.hits += 1
+            return 0
+        self.misses += 1
+        self._order[key] = None
+        if len(self._order) > self.entries:
+            oldest = next(iter(self._order))
+            del self._order[oldest]
+        return self.miss_penalty

@@ -1,0 +1,350 @@
+"""The SMT core: cycle loop tying front-end and back-end together.
+
+Stage processing runs in reverse pipeline order each cycle (commit,
+writeback, issue, dispatch, rename, decode, fetch, predict) so that
+instructions advance one stage per cycle without same-cycle ripple.
+
+Branch recovery:
+
+* misfetched direct jumps/calls (``resolve_at_decode``) redirect the
+  front-end as soon as they are decoded — a short bubble;
+* everything else resolves at writeback: the core squashes all younger
+  instructions of the thread from every structure, repairs the engine's
+  speculative state and redirects fetch to the architectural PC.
+
+ICOUNT accounting: a thread's count rises when instructions enter the
+fetch buffer and falls at issue (or at squash for pre-issue
+instructions) — instructions "in the decode, rename and dispatch stages"
+plus queued ones, per Tullsen's definition as used by the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.fetch_unit import FetchUnit
+from repro.isa.instruction import BranchKind, DynInst, InstrClass, \
+    execution_latency
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.resources import FunctionalUnits, InstructionQueues, \
+    PhysicalRegisters, ReorderBuffer
+from repro.trace.context import ThreadContext
+
+
+class DeadlockError(RuntimeError):
+    """No thread committed for an implausibly long time (simulator bug)."""
+
+
+@dataclass
+class CoreParams:
+    """Execution-core sizing (defaults from the paper's Table 3)."""
+
+    decode_width: int = 8
+    issue_width: int = 8
+    commit_width: int = 8
+    rob_entries: int = 256
+    iq_int: int = 32
+    iq_ldst: int = 32
+    iq_fp: int = 32
+    int_regs: int = 384
+    fp_regs: int = 384
+    int_units: int = 6
+    ldst_units: int = 4
+    fp_units: int = 3
+    regread_latency: int = 1
+    watchdog_cycles: int = 50_000
+
+
+@dataclass
+class CoreStats:
+    """Back-end counters accumulated over a run."""
+
+    cycles: int = 0
+    committed: int = 0
+    committed_by_thread: list[int] = field(default_factory=list)
+    squashes: int = 0
+    decode_redirects: int = 0
+    issued: int = 0
+    dispatch_stalls: int = 0
+    rob_occupancy_sum: int = 0
+    iq_occupancy_sum: int = 0
+    wrong_path_committed: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Commit throughput — the paper's overall performance metric."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_rob_occupancy(self) -> float:
+        """Mean ROB occupancy per cycle."""
+        return self.rob_occupancy_sum / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_iq_occupancy(self) -> float:
+        """Mean total IQ occupancy per cycle."""
+        return self.iq_occupancy_sum / self.cycles if self.cycles else 0.0
+
+
+class SmtCore:
+    """Out-of-order SMT execution core around a decoupled front-end."""
+
+    def __init__(self, fetch_unit: FetchUnit, memory: MemoryHierarchy,
+                 contexts: list[ThreadContext],
+                 params: CoreParams | None = None) -> None:
+        self.params = params or CoreParams()
+        self.fetch_unit = fetch_unit
+        self.engine = fetch_unit.engine
+        self.memory = memory
+        self.contexts = contexts
+        self.icounts = fetch_unit.icounts
+        n = len(contexts)
+
+        p = self.params
+        self.iqs = InstructionQueues(p.iq_int, p.iq_ldst, p.iq_fp)
+        self.rob = ReorderBuffer(n, p.rob_entries)
+        self.regs = PhysicalRegisters(n, p.int_regs, p.fp_regs)
+        self.fus = FunctionalUnits(p.int_units, p.ldst_units, p.fp_units)
+        self.decode_latch: list[DynInst] = []
+        self.rename_latch: list[DynInst] = []
+        self.rename_map: list[dict[int, DynInst | None]] = \
+            [dict() for _ in range(n)]
+        self.completions: dict[int, list[DynInst]] = {}
+        self.cycle = 0
+        self._age = 0
+        self._last_commit_cycle = 0
+        self.stats = CoreStats(committed_by_thread=[0] * n)
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int,
+            max_instructions: int | None = None) -> CoreStats:
+        """Simulate until a cycle or committed-instruction budget."""
+        target = self.cycle + max_cycles
+        while self.cycle < target:
+            if max_instructions is not None \
+                    and self.stats.committed >= max_instructions:
+                break
+            self.tick()
+        return self.stats
+
+    def tick(self) -> None:
+        """Advance the machine by one cycle."""
+        cycle = self.cycle
+        self._commit_stage(cycle)
+        self._writeback_stage(cycle)
+        self._issue_stage(cycle)
+        self._dispatch_stage(cycle)
+        self._rename_stage(cycle)
+        self._decode_stage(cycle)
+        self.fetch_unit.fetch_stage(cycle)
+        self.fetch_unit.predict_stage(cycle)
+        self.stats.cycles += 1
+        self.stats.rob_occupancy_sum += self.rob.size
+        self.stats.iq_occupancy_sum += self.iqs.occupancy()
+        if cycle - self._last_commit_cycle > self.params.watchdog_cycles:
+            raise DeadlockError(
+                f"no commit for {self.params.watchdog_cycles} cycles "
+                f"(cycle {cycle})")
+        self.cycle = cycle + 1
+
+    # ------------------------------------------------------------------
+    # back-end stages
+    # ------------------------------------------------------------------
+
+    def _commit_stage(self, cycle: int) -> None:
+        width = self.params.commit_width
+        n = len(self.contexts)
+        start = cycle % n
+        committed = 0
+        for k in range(n):
+            tid = (start + k) % n
+            while committed < width:
+                head = self.rob.head(tid)
+                if head is None or not head.completed:
+                    break
+                self.rob.pop_head(tid)
+                self.regs.release(head)
+                committed += 1
+                self.stats.committed += 1
+                self.stats.committed_by_thread[tid] += 1
+                if not head.on_correct_path:
+                    # Cannot happen: wrong-path instructions are always
+                    # squashed before their thread's divergence commits.
+                    self.stats.wrong_path_committed += 1
+                self.engine.commit(head)
+            if committed >= width:
+                break
+        if committed:
+            self._last_commit_cycle = cycle
+
+    def _writeback_stage(self, cycle: int) -> None:
+        done = self.completions.pop(cycle, None)
+        if not done:
+            return
+        done.sort(key=lambda di: di.seq)
+        for di in done:
+            if di.squashed:
+                continue
+            di.completed = True
+            di.complete_cycle = cycle
+            if di.is_branch and di.on_correct_path:
+                self.engine.resolve_branch(di)
+                if di.diverges:
+                    self._squash_from(di)
+                    self.stats.squashes += 1
+
+    def _issue_stage(self, cycle: int) -> None:
+        self.fus.new_cycle()
+        budget = self.params.issue_width
+        for queue in self.iqs.queues:
+            if budget <= 0:
+                break
+            # Entries are age-ordered by construction (monotonic dispatch
+            # stamps; squash removal preserves relative order).
+            issued_here: list[int] = []
+            for pos, (age, di) in enumerate(queue):
+                if budget <= 0:
+                    break
+                if not all(p.completed for p in di.producers):
+                    continue
+                if not self.fus.try_take(di.opclass):
+                    break               # no unit left for this class
+                latency = self._execution_latency(di, cycle)
+                if latency is None:     # load without an MSHR: replay
+                    continue
+                di.issued = True
+                # Full bypass network: results forward to dependents at
+                # `latency`; the register-read stage affects the
+                # pipeline's refill depth, not dependent chains.
+                ready_at = cycle + latency
+                self.completions.setdefault(ready_at, []).append(di)
+                self.icounts[di.tid] -= 1
+                issued_here.append(pos)
+                budget -= 1
+                self.stats.issued += 1
+            for pos in reversed(issued_here):
+                queue.pop(pos)
+
+    def _execution_latency(self, di: DynInst, cycle: int) -> int | None:
+        base = execution_latency(di.opclass)
+        if di.opclass == InstrClass.LOAD:
+            dcache = self.memory.dread(di.tid, di.mem_addr, cycle)
+            if dcache is None:
+                return None
+            return base + dcache
+        if di.opclass == InstrClass.STORE:
+            self.memory.dwrite(di.tid, di.mem_addr, cycle)
+        return base
+
+    def _dispatch_stage(self, cycle: int) -> None:
+        """Rename-latch to IQ/ROB, in order *per thread*.
+
+        A thread whose queue/registers are exhausted blocks only itself;
+        other threads' instructions slip past (per-thread skid
+        behaviour).  The shared-capacity clog still operates through IQ
+        entries, registers and ROB slots the stalled thread occupies.
+        """
+        latch = self.rename_latch
+        if not latch:
+            return
+        blocked: set[int] = set()
+        kept: list[DynInst] = []
+        dispatched = 0
+        width = self.params.decode_width
+        for pos, di in enumerate(latch):
+            if dispatched >= width:
+                kept.extend(latch[pos:])
+                break
+            if di.tid in blocked:
+                kept.append(di)
+                continue
+            if self.rob.full:
+                self.stats.dispatch_stalls += 1
+                kept.extend(latch[pos:])
+                break
+            if not self.iqs.has_space(di.opclass) \
+                    or not self.regs.available(di):
+                self.stats.dispatch_stalls += 1
+                blocked.add(di.tid)
+                kept.append(di)
+                continue
+            self.regs.allocate(di)
+            di.producers = self._resolve_producers(di)
+            if di.static.dest >= 0:
+                self.rename_map[di.tid][di.static.dest] = di
+            self.rob.push(di)
+            self.iqs.insert(self._age, di)
+            self._age += 1
+            dispatched += 1
+        latch[:] = kept
+
+    def _resolve_producers(self, di: DynInst) -> tuple[DynInst, ...]:
+        rmap = self.rename_map[di.tid]
+        producers = []
+        for src in di.static.srcs:
+            producer = rmap.get(src)
+            if producer is not None and not producer.completed \
+                    and not producer.squashed:
+                producers.append(producer)
+        return tuple(producers)
+
+    def _rename_stage(self, cycle: int) -> None:
+        width = self.params.decode_width
+        space = 2 * width - len(self.rename_latch)
+        move = min(space, width, len(self.decode_latch))
+        if move > 0:
+            self.rename_latch.extend(self.decode_latch[:move])
+            del self.decode_latch[:move]
+
+    def _decode_stage(self, cycle: int) -> None:
+        buffer = self.fetch_unit.fetch_buffer
+        width = self.params.decode_width
+        while buffer and len(self.decode_latch) < width:
+            di = buffer.popleft()
+            self.decode_latch.append(di)
+            if di.on_correct_path and di.diverges and di.resolve_at_decode:
+                # Misfetched direct jump/call: the target is known at
+                # decode — redirect immediately, drop the wrong path.
+                self._redirect_at_decode(di)
+                break
+
+    # ------------------------------------------------------------------
+    # squash machinery
+    # ------------------------------------------------------------------
+
+    def _redirect_at_decode(self, di: DynInst) -> None:
+        tid = di.tid
+        removed = self.iqs.remove_squashed(tid, di.seq)
+        assert removed == 0, "younger instructions cannot be in the IQ"
+        resume = self.contexts[tid].recover()
+        self.fetch_unit.redirect(tid, resume, di, at_decode=True)
+        di.diverges = False             # recovery handled
+        self.stats.decode_redirects += 1
+
+    def _squash_from(self, di: DynInst) -> None:
+        """Squash everything younger than ``di`` in its thread."""
+        tid = di.tid
+        seq = di.seq
+        removed = self.iqs.remove_squashed(tid, seq)
+        self.icounts[tid] -= removed
+        for latch in (self.decode_latch, self.rename_latch):
+            kept = []
+            for entry in latch:
+                if entry.tid == tid and entry.seq > seq:
+                    entry.squashed = True
+                    self.icounts[tid] -= 1
+                else:
+                    kept.append(entry)
+            latch[:] = kept
+        for squashed in self.rob.squash_tail(tid, seq):
+            self.regs.release(squashed)
+        rmap = self.rename_map[tid]
+        for arch, producer in list(rmap.items()):
+            if producer is not None and producer.squashed:
+                rmap[arch] = None
+        resume = self.contexts[tid].recover()
+        self.fetch_unit.redirect(tid, resume, di)
+        di.diverges = False             # recovery handled

@@ -1,0 +1,200 @@
+"""Shared execution resources: queues, registers, ROB, functional units.
+
+These are deliberately simple occupancy models — the simulation cares
+about *when structures fill up and who is occupying them*, which is the
+mechanism behind the paper's memory-bound results, not about port-level
+micro-detail.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import DynInst, InstrClass
+
+# Queue classes: integer (ALU/MUL/branches), load-store, floating point.
+IQ_INT = 0
+IQ_LDST = 1
+IQ_FP = 2
+
+_QUEUE_OF = {
+    InstrClass.INT_ALU: IQ_INT,
+    InstrClass.INT_MUL: IQ_INT,
+    InstrClass.BRANCH: IQ_INT,
+    InstrClass.LOAD: IQ_LDST,
+    InstrClass.STORE: IQ_LDST,
+    InstrClass.FP_ALU: IQ_FP,
+}
+
+
+def queue_of(opclass: InstrClass) -> int:
+    """Map an instruction class to its instruction queue."""
+    return _QUEUE_OF[opclass]
+
+
+class InstructionQueues:
+    """Three shared issue queues (Table 3: 32 entries each).
+
+    Entries wait here from dispatch to issue; each entry is
+    ``(age, DynInst)`` and issue selection is oldest-first.
+    """
+
+    def __init__(self, int_entries: int = 32, ldst_entries: int = 32,
+                 fp_entries: int = 32) -> None:
+        self.capacity = (int_entries, ldst_entries, fp_entries)
+        self.queues: tuple[list, list, list] = ([], [], [])
+
+    def has_space(self, opclass: InstrClass) -> bool:
+        """True if the queue for ``opclass`` can accept an entry."""
+        q = queue_of(opclass)
+        return len(self.queues[q]) < self.capacity[q]
+
+    def insert(self, age: int, di: DynInst) -> None:
+        """Dispatch ``di`` into its queue."""
+        q = queue_of(di.opclass)
+        if len(self.queues[q]) >= self.capacity[q]:
+            raise OverflowError(f"instruction queue {q} is full")
+        self.queues[q].append((age, di))
+
+    def remove_squashed(self, tid: int, seq_limit: int) -> int:
+        """Drop entries of ``tid`` younger than ``seq_limit``.
+
+        Returns the number of entries removed (for ICOUNT accounting).
+        """
+        removed = 0
+        for q in range(3):
+            kept = []
+            for age, di in self.queues[q]:
+                if di.tid == tid and di.seq > seq_limit:
+                    di.squashed = True
+                    removed += 1
+                else:
+                    kept.append((age, di))
+            self.queues[q][:] = kept
+        return removed
+
+    def occupancy(self, tid: int | None = None) -> int:
+        """Entries in all queues (optionally for one thread)."""
+        if tid is None:
+            return sum(len(q) for q in self.queues)
+        return sum(1 for q in self.queues for _, di in q if di.tid == tid)
+
+
+class PhysicalRegisters:
+    """Shared physical register pools (Table 3: 384 int + 384 fp).
+
+    Architectural state reserves 32 registers per pool per thread; the
+    remainder is the in-flight renaming budget.  Registers are allocated
+    at dispatch and released at commit or squash — the paper-relevant
+    property is that a stalled thread holds registers hostage.
+    """
+
+    def __init__(self, n_threads: int, int_regs: int = 384,
+                 fp_regs: int = 384, arch_regs: int = 32) -> None:
+        reserved = n_threads * arch_regs
+        if int_regs <= reserved or fp_regs <= reserved:
+            raise ValueError(
+                f"register files too small for {n_threads} threads: "
+                f"{int_regs} int / {fp_regs} fp vs {reserved} reserved")
+        self.free_int = int_regs - reserved
+        self.free_fp = fp_regs - reserved
+
+    @staticmethod
+    def _pool(opclass: InstrClass) -> str:
+        return "fp" if opclass == InstrClass.FP_ALU else "int"
+
+    def available(self, di: DynInst) -> bool:
+        """True if ``di``'s destination (if any) can be renamed."""
+        if di.static.dest < 0:
+            return True
+        if self._pool(di.opclass) == "fp":
+            return self.free_fp > 0
+        return self.free_int > 0
+
+    def allocate(self, di: DynInst) -> None:
+        """Take a register for ``di``'s destination."""
+        if di.static.dest < 0:
+            return
+        if self._pool(di.opclass) == "fp":
+            self.free_fp -= 1
+        else:
+            self.free_int -= 1
+
+    def release(self, di: DynInst) -> None:
+        """Return ``di``'s destination register (commit or squash)."""
+        if di.static.dest < 0:
+            return
+        if self._pool(di.opclass) == "fp":
+            self.free_fp += 1
+        else:
+            self.free_int += 1
+
+
+class ReorderBuffer:
+    """Shared-capacity ROB with per-thread in-order commit lists."""
+
+    def __init__(self, n_threads: int, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self.lists: list[list[DynInst]] = [[] for _ in range(n_threads)]
+        self.size = 0
+
+    @property
+    def full(self) -> bool:
+        """True when no instruction can dispatch."""
+        return self.size >= self.capacity
+
+    def push(self, di: DynInst) -> None:
+        """Append ``di`` to its thread's program-order list."""
+        if self.full:
+            raise OverflowError("ROB is full")
+        self.lists[di.tid].append(di)
+        self.size += 1
+
+    def head(self, tid: int) -> DynInst | None:
+        """Oldest un-committed instruction of ``tid``."""
+        lst = self.lists[tid]
+        return lst[0] if lst else None
+
+    def pop_head(self, tid: int) -> DynInst:
+        """Commit the head of ``tid``."""
+        di = self.lists[tid].pop(0)
+        self.size -= 1
+        return di
+
+    def squash_tail(self, tid: int, seq_limit: int) -> list[DynInst]:
+        """Remove (and return) entries of ``tid`` younger than the limit."""
+        lst = self.lists[tid]
+        cut = len(lst)
+        while cut > 0 and lst[cut - 1].seq > seq_limit:
+            cut -= 1
+        squashed = lst[cut:]
+        del lst[cut:]
+        self.size -= len(squashed)
+        for di in squashed:
+            di.squashed = True
+        return squashed
+
+    def occupancy(self, tid: int | None = None) -> int:
+        """Entries in the ROB (optionally for one thread)."""
+        if tid is None:
+            return self.size
+        return len(self.lists[tid])
+
+
+class FunctionalUnits:
+    """Per-cycle functional-unit availability (Table 3: 6 int, 4 ld/st, 3 fp)."""
+
+    def __init__(self, int_units: int = 6, ldst_units: int = 4,
+                 fp_units: int = 3) -> None:
+        self.counts = (int_units, ldst_units, fp_units)
+        self._free = [0, 0, 0]
+
+    def new_cycle(self) -> None:
+        """Reset availability at the start of every issue stage."""
+        self._free[0], self._free[1], self._free[2] = self.counts
+
+    def try_take(self, opclass: InstrClass) -> bool:
+        """Claim a unit for this cycle; False if none left."""
+        q = queue_of(opclass)
+        if self._free[q] <= 0:
+            return False
+        self._free[q] -= 1
+        return True

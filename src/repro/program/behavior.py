@@ -1,0 +1,127 @@
+"""Deterministic branch behaviours.
+
+Each conditional or indirect branch in a synthetic program owns a
+behaviour object.  A behaviour answers "what does occurrence *n* of this
+branch do?" as a *pure function* of ``n`` — no mutable state.  This is
+what makes wrong-path fetch safe: the front-end may evaluate outcomes
+speculatively without corrupting anything, and a squash only has to
+restore the thread's position, never per-branch state.
+
+The mix of behaviour classes controls how learnable a benchmark's
+branches are, which is one of the four knobs the synthetic workloads are
+calibrated on (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.util.bits import mix64, unit_float
+
+
+class BranchBehavior:
+    """Interface: outcome of the n-th architectural occurrence."""
+
+    __slots__ = ()
+
+    def taken(self, n: int) -> bool:
+        """Return True if occurrence ``n`` (0-based) is taken."""
+        raise NotImplementedError
+
+    def target(self, n: int) -> int:
+        """Return the taken-target of occurrence ``n``.
+
+        Only indirect behaviours override this; direct branches keep their
+        static target and never consult the behaviour for it.
+        """
+        raise NotImplementedError
+
+
+class LoopBehavior(BranchBehavior):
+    """Backward loop branch: taken ``trip - 1`` times, then falls through.
+
+    A short trip count is learnable from global history; a long one costs
+    a single misprediction per loop exit, which matches how real
+    predictors experience loop branches.
+    """
+
+    __slots__ = ("trip",)
+
+    def __init__(self, trip: int) -> None:
+        if trip < 1:
+            raise ValueError(f"loop trip count must be >= 1, got {trip}")
+        self.trip = trip
+
+    def taken(self, n: int) -> bool:
+        return (n % self.trip) != self.trip - 1
+
+
+class BiasedBehavior(BranchBehavior):
+    """Data-dependent branch: taken with fixed probability, no pattern.
+
+    The outcome stream is produced by hashing the occurrence index, so it
+    looks random to any history-based predictor; the achievable accuracy
+    is ``max(p, 1-p)``.  These branches model the hard-to-predict residue
+    that separates gshare from gskew (aliasing pressure) in the paper.
+    """
+
+    __slots__ = ("p_taken", "salt")
+
+    def __init__(self, p_taken: float, salt: int) -> None:
+        if not 0.0 <= p_taken <= 1.0:
+            raise ValueError(f"p_taken must be within [0, 1], got {p_taken}")
+        self.p_taken = p_taken
+        self.salt = salt
+
+    def taken(self, n: int) -> bool:
+        return unit_float(mix64(self.salt, n)) < self.p_taken
+
+
+class PatternBehavior(BranchBehavior):
+    """Periodic branch: outcome follows a fixed bit pattern.
+
+    Patterns shorter than the predictor's history length are perfectly
+    learnable; longer ones degrade gracefully.  They model control flow
+    driven by regular data structures.
+    """
+
+    __slots__ = ("pattern", "length")
+
+    def __init__(self, pattern: tuple[bool, ...]) -> None:
+        if not pattern:
+            raise ValueError("pattern must contain at least one outcome")
+        self.pattern = pattern
+        self.length = len(pattern)
+
+    def taken(self, n: int) -> bool:
+        return self.pattern[n % self.length]
+
+
+class IndirectBehavior(BranchBehavior):
+    """Indirect jump choosing among a fixed set of targets.
+
+    ``regularity`` is the probability that an occurrence goes to the
+    dominant (first) target; the rest are spread pseudo-randomly.  An
+    indirect jump is always taken.
+    """
+
+    __slots__ = ("targets", "salt", "regularity")
+
+    def __init__(self, targets: tuple[int, ...], salt: int,
+                 regularity: float = 0.7) -> None:
+        if not targets:
+            raise ValueError("indirect behaviour needs at least one target")
+        if not 0.0 <= regularity <= 1.0:
+            raise ValueError(
+                f"regularity must be within [0, 1], got {regularity}")
+        self.targets = targets
+        self.salt = salt
+        self.regularity = regularity
+
+    def taken(self, n: int) -> bool:
+        return True
+
+    def target(self, n: int) -> int:
+        h = mix64(self.salt, n)
+        if unit_float(h) < self.regularity or len(self.targets) == 1:
+            return self.targets[0]
+        alternatives = self.targets[1:]
+        return alternatives[mix64(self.salt, n, 1) % len(alternatives)]

@@ -1,0 +1,530 @@
+"""Synthetic program generator.
+
+Builds a :class:`~repro.program.blocks.Program` from a
+:class:`~repro.program.profiles.BenchmarkProfile` in three passes:
+
+1. *Plan* — for each function, decide block count, block sizes and the
+   terminator of every block (forward conditional, loop-back conditional,
+   rare "break" conditional, direct jump, call, indirect jump, return).
+2. *Layout* — assign contiguous addresses, functions back to back, so
+   fall-through successors are implicit and frequently-sequential paths
+   stay sequential (the spike-optimised layout the paper relies on for
+   long streams).
+3. *Instantiate* — emit instructions, behaviours and address generators.
+
+The plan keeps the call graph acyclic (function *i* only calls *j > i*),
+bounding call depth and guaranteeing the architectural walker never
+underflows its return stack on the correct path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.isa.instruction import INSTR_BYTES, BranchKind, InstrClass, \
+    StaticInstruction
+from repro.program.behavior import BiasedBehavior, BranchBehavior, \
+    IndirectBehavior, LoopBehavior, PatternBehavior
+from repro.program.blocks import Function, Program, StaticBasicBlock
+from repro.program.memgen import AddressGenerator, ChaseGenerator, \
+    StackGenerator, StrideGenerator
+from repro.program.profiles import SPECINT2000, BenchmarkProfile
+from repro.util.bits import mix64
+
+CODE_BASE = 0x0040_0000
+"""Base address of the code segment."""
+
+DATA_BASE = 0x2000_0000
+"""Base address of the heap-like data segment."""
+
+STACK_BASE = 0x7FF0_0000
+"""Base address of the stack-like data segment."""
+
+_STACK_REGION_BYTES = 8 * 1024
+_MAX_BLOCK = 32
+_MAX_LOOP_TRIP = 64
+_CALL_REACH = 8          # function i may call (i, i + reach]
+_ARCH_REGS = range(1, 31)  # r0 reserved as zero, r31 as link
+
+
+@dataclass
+class _BlockPlan:
+    """Planned shape of one basic block before instantiation."""
+
+    size: int                      # instructions, terminator included
+    kind: BranchKind
+    local_target: int = -1         # target block index within function
+    callee_fid: int = -1           # for calls
+    ind_targets: tuple[int, ...] = ()   # local block indices
+    behavior_spec: tuple = ()      # ('loop', trip) / ('fwd', style, p) ...
+
+
+@dataclass
+class _FunctionPlan:
+    blocks: list[_BlockPlan] = field(default_factory=list)
+
+
+def _name_salt(name: str) -> int:
+    return mix64(*name.encode())
+
+
+def _sample_block_size(rng: random.Random, mean: float) -> int:
+    """Sample a block size averaging ``mean`` dynamically, clipped to [1, 32].
+
+    The +0.45 term compensates the truncation of the gamma sample and the
+    execution weighting of loop bodies, calibrated against
+    :func:`repro.trace.walker.dynamic_stats` over the twelve profiles.
+    """
+    if mean <= 1.0:
+        return 1
+    body = rng.gammavariate(2.0, (mean - 0.55) / 2.0)
+    return max(1, min(_MAX_BLOCK, 1 + round(body)))
+
+
+def _sample_trip(rng: random.Random, mean: float) -> int:
+    trip = 2 + int(rng.expovariate(1.0 / max(mean - 2.0, 1.0)))
+    return max(2, min(_MAX_LOOP_TRIP, trip))
+
+
+def _plan_function(rng: random.Random, size_rng: random.Random,
+                   profile: BenchmarkProfile,
+                   fid: int, size_scale: float) -> _FunctionPlan:
+    """Pass 1: choose block sizes and terminators for one function.
+
+    Structure comes from ``rng`` and sizes from ``size_rng``: the
+    calibration loop in :func:`generate_program` rescales sizes without
+    perturbing the CFG, which keeps the measured dynamic block size a
+    smooth function of the scale.
+    """
+    mean_blocks = profile.blocks_per_function
+    n = max(4, min(3 * mean_blocks,
+                   int(round(rng.gauss(mean_blocks, 0.25 * mean_blocks)))))
+    plan = _FunctionPlan()
+    can_call = fid + 1 < profile.n_functions
+    loop_depth = 0   # crude nesting guard: avoid towers of backward branches
+
+    for i in range(n):
+        size = _sample_block_size(size_rng,
+                                  profile.avg_bb_size * size_scale)
+        if i == n - 1:
+            # Function epilogue: main loops forever, others return.
+            if fid == 0:
+                plan.blocks.append(_BlockPlan(size, BranchKind.JUMP,
+                                              local_target=0))
+            else:
+                plan.blocks.append(_BlockPlan(size, BranchKind.RET))
+            continue
+        if i >= n - 3:
+            # Keep the tail simple so forward targets always exist.
+            plan.blocks.append(_BlockPlan(size, BranchKind.JUMP,
+                                          local_target=i + 1))
+            continue
+
+        r = rng.random()
+        if r < profile.p_loop and i > 0 and loop_depth < 2:
+            # Loop bodies span several blocks so that streams (sequences
+            # between taken branches) cover multiple basic blocks, as in
+            # layout-optimised binaries.
+            span = 2 + int(rng.expovariate(1.0 / 2.5))
+            back = max(0, i - min(span, 8))
+            trip = _sample_trip(rng, profile.loop_trip_mean)
+            plan.blocks.append(_BlockPlan(size, BranchKind.COND,
+                                          local_target=back,
+                                          behavior_spec=("loop", trip)))
+            loop_depth += 1
+            continue
+        loop_depth = max(0, loop_depth - 1)
+        r -= profile.p_loop
+        if r < profile.p_call and can_call:
+            callee = rng.randint(fid + 1,
+                                 min(profile.n_functions - 1,
+                                     fid + _CALL_REACH))
+            plan.blocks.append(_BlockPlan(size, BranchKind.CALL,
+                                          callee_fid=callee))
+            continue
+        r -= profile.p_call
+        if r < profile.p_jump:
+            skip = 1 if rng.random() < 0.6 else 2
+            plan.blocks.append(_BlockPlan(size, BranchKind.JUMP,
+                                          local_target=min(i + skip, n - 1)))
+            continue
+        r -= profile.p_jump
+        if r < profile.p_indirect:
+            fanout = rng.randint(2, max(2, profile.indirect_fanout))
+            hi = min(i + 8, n - 1)
+            targets = tuple(sorted({rng.randint(i + 1, hi)
+                                    for _ in range(fanout)}))
+            plan.blocks.append(_BlockPlan(size, BranchKind.IND_JUMP,
+                                          ind_targets=targets,
+                                          behavior_spec=("ind",)))
+            continue
+        # Forward conditional: the bread and butter of the CFG.
+        target = rng.randint(i + 2, min(i + 7, n - 1))
+        style_roll = rng.random()
+        if style_roll < profile.hard_branch_frac:
+            spec = ("fwd_hard",)
+        elif style_roll < profile.hard_branch_frac + 0.35:
+            spec = ("fwd_pattern",)
+        else:
+            spec = ("fwd_rare",)
+        plan.blocks.append(_BlockPlan(size, BranchKind.COND,
+                                      local_target=target,
+                                      behavior_spec=spec))
+    _demote_hard_branches_in_loops(plan)
+    return plan
+
+
+def _demote_hard_branches_in_loops(plan: _FunctionPlan) -> None:
+    """Downgrade history-resistant branches inside loop bodies.
+
+    A noisy branch executing every loop iteration floods the global
+    history with pseudo-random bits and destroys the learnability of
+    *every* branch around it — its dynamic weight is amplified far
+    beyond its static share.  Real hard branches correlate with their
+    surroundings in ways a pure random stream cannot model, so we keep
+    hard branches to straight-line (colder) code.
+    """
+    in_loop = set()
+    for i, block_plan in enumerate(plan.blocks):
+        if block_plan.kind == BranchKind.COND and block_plan.behavior_spec \
+                and block_plan.behavior_spec[0] == "loop":
+            in_loop.update(range(block_plan.local_target, i))
+    for j in in_loop:
+        block_plan = plan.blocks[j]
+        if block_plan.behavior_spec \
+                and block_plan.behavior_spec[0] == "fwd_hard":
+            block_plan.behavior_spec = ("fwd_rare",)
+
+
+class _DataArena:
+    """Carves shared data regions and hands out address generators.
+
+    The profile's working set is a *program* property: all chase
+    generators point into one shared heap region of ``ws_kb`` so the
+    union of their footprints equals the working set, and stride
+    generators rotate through a few medium arrays.
+    """
+
+    def __init__(self, rng: random.Random, profile: BenchmarkProfile,
+                 salt: int) -> None:
+        self._rng = rng
+        self._profile = profile
+        self._salt = salt
+        self._serial = 0
+        ws_bytes = profile.ws_kb * 1024
+        self._heap_base = DATA_BASE
+        self._heap_bytes = max(ws_bytes, 4096)
+        # Hot strided arrays stay small: real ILP-class SPECint keeps its
+        # inner-loop data close to L1-resident; the big working set is
+        # reached through the chase generators over the heap region.
+        array_bytes = max(2 * 1024, min(16 * 1024, ws_bytes // 32))
+        self._arrays = [self._heap_base + self._heap_bytes + k * array_bytes
+                        for k in range(8)]
+        self._array_bytes = array_bytes
+        self._next_array = 0
+
+    def make_generator(self) -> AddressGenerator:
+        """Return an address generator drawn from the profile's mix."""
+        self._serial += 1
+        salt = mix64(self._salt, 0xDA7A, self._serial)
+        r = self._rng.random()
+        if r < self._profile.chase_frac:
+            return ChaseGenerator(self._heap_base, self._heap_bytes, salt)
+        if r < self._profile.chase_frac + self._profile.stride_frac:
+            base = self._arrays[self._next_array % len(self._arrays)]
+            self._next_array += 1
+            stride = self._rng.choice((8, 8, 16, 64))
+            return StrideGenerator(base, stride, self._array_bytes)
+        return StackGenerator(STACK_BASE, _STACK_REGION_BYTES, salt)
+
+
+def _make_pattern(rng: random.Random, taken_p: float) -> tuple[bool, ...]:
+    # Short periods are fully learnable by a history predictor once the
+    # surrounding control flow is stable — the realistic "easy" case.
+    # Half are run-structured (e.g. T once every k): their phase is
+    # recoverable from the branch's own recent outcome even when
+    # neighbouring branches perturb the global history.
+    length = rng.randint(2, 6)
+    if rng.random() < 0.5:
+        taken_slot = rng.randrange(length)
+        return tuple(i == taken_slot for i in range(length))
+    pattern = tuple(rng.random() < taken_p for _ in range(length))
+    if any(pattern):
+        return pattern
+    # Guarantee at least one taken slot so the branch is not degenerate.
+    idx = rng.randrange(length)
+    return tuple(i == idx for i in range(length))
+
+
+def _make_behavior(rng: random.Random, profile: BenchmarkProfile,
+                   spec: tuple, salt: int,
+                   ind_targets: tuple[int, ...] = ()) -> BranchBehavior:
+    kind = spec[0]
+    if kind == "loop":
+        return LoopBehavior(spec[1])
+    if kind == "ind":
+        return IndirectBehavior(ind_targets, salt,
+                                regularity=rng.uniform(0.6, 0.85))
+    if kind == "fwd_hard":
+        # Hard data-dependent branch: an irregular pattern whose period
+        # exceeds the predictors' history length.  Learning it needs
+        # many visits per history context — under table pressure this
+        # is where gskew's aliasing tolerance pays off.  (A purely
+        # random stream would be unlearnable by *any* history predictor
+        # and its noise would poison the global history for every other
+        # branch, so the period is kept within what a 10^5-instruction
+        # window can partially learn.)
+        jitter = rng.uniform(-0.08, 0.08)
+        density = min(0.95, max(0.05, profile.hard_bias + jitter))
+        length = rng.randint(24, 96)
+        pattern = tuple(rng.random() < density for _ in range(length))
+        return PatternBehavior(pattern)
+    if kind == "fwd_pattern":
+        return PatternBehavior(_make_pattern(rng, profile.fwd_taken_p))
+    if kind == "fwd_rare":
+        # Strongly biased branch.  Half are *never* taken (error checks,
+        # cold paths): these are exactly what an FTB embeds inside its
+        # fetch blocks while a BTB still terminates on them.  The rest
+        # are rare "breaks" or nearly-always-taken guards.
+        roll = rng.random()
+        if roll < 0.5:
+            return BiasedBehavior(0.0, salt)
+        if roll < 0.8:
+            return BiasedBehavior(rng.uniform(0.01, 0.06), salt)
+        return BiasedBehavior(rng.uniform(0.94, 0.99), salt)
+    raise ValueError(f"unknown behaviour spec {spec!r}")
+
+
+def generate_program(profile: BenchmarkProfile, seed: int = 0) -> Program:
+    """Generate the synthetic program for ``profile``.
+
+    Deterministic in ``(profile, seed)``.  The returned program passes
+    :meth:`Program.validate`.  Generation is closed-loop calibrated: the
+    dynamic average basic-block size is measured on the correct path and
+    block sizes are rescaled until it lands within a few percent of the
+    profile's Table 1 target (execution weighting of loop bodies would
+    otherwise skew individual seeds by 10-20%).
+    """
+    scale = 1.0
+    program = _generate_once(profile, seed, scale)
+    for _ in range(4):
+        measured = _measure_dynamic_block_size(program)
+        rel = measured / profile.avg_bb_size
+        if 0.96 <= rel <= 1.04:
+            break
+        scale = min(2.5, max(0.4, scale / rel))
+        program = _generate_once(profile, seed, scale)
+    return program
+
+
+def _measure_dynamic_block_size(program: Program,
+                                instructions: int = 50_000) -> float:
+    """Dynamic instructions-per-branch along the correct path."""
+    # Imported here to avoid a package-level cycle: repro.trace depends on
+    # repro.program for its data types.
+    from repro.trace.context import ThreadContext
+
+    ctx = ThreadContext(program)
+    branches = 0
+    for _ in range(instructions):
+        static = program.instr_at(ctx.pc)
+        if static is None:  # pragma: no cover - validated programs are total
+            raise RuntimeError(f"unmapped architectural pc {ctx.pc:#x}")
+        if static.is_branch:
+            branches += 1
+        ctx.step(static)
+    return instructions / max(branches, 1)
+
+
+def _generate_once(profile: BenchmarkProfile, seed: int,
+                   size_scale: float) -> Program:
+    salt = mix64(seed, _name_salt(profile.name))
+    rng = random.Random(salt)
+    size_rng = random.Random(mix64(salt, 0x512E))
+
+    plans = [_plan_function(rng, size_rng, profile, fid, size_scale)
+             for fid in range(profile.n_functions)]
+
+    # Pass 2: layout. Function f starts where f-1 ended.
+    func_entry_addr: list[int] = []
+    block_addr: list[list[int]] = []
+    addr = CODE_BASE
+    for plan in plans:
+        func_entry_addr.append(addr)
+        addrs = []
+        for block_plan in plan.blocks:
+            addrs.append(addr)
+            addr += block_plan.size * INSTR_BYTES
+        block_addr.append(addrs)
+
+    # Pass 3: instantiate.
+    arena = _DataArena(rng, profile, salt)
+    behaviors: list[BranchBehavior] = []
+    memgens: list[AddressGenerator] = []
+    blocks: list[StaticBasicBlock] = []
+    functions: list[Function] = []
+    sid = 0
+    bid = 0
+
+    boost = _mix_boost(profile)
+    for fid, plan in enumerate(plans):
+        block_ids: list[int] = []
+        recent_dests: list[int] = []
+        recent_alu_dests: list[int] = []
+        last_load_dest = -1
+        for local_idx, block_plan in enumerate(plan.blocks):
+            start = block_addr[fid][local_idx]
+            instrs: list[StaticInstruction] = []
+            for slot in range(block_plan.size - 1):
+                instr_addr = start + slot * INSTR_BYTES
+                instrs.append(_make_body_instr(
+                    rng, profile, arena, memgens, sid, instr_addr,
+                    recent_dests, last_load_dest, boost))
+                if instrs[-1].opclass == InstrClass.LOAD:
+                    last_load_dest = instrs[-1].dest
+                elif instrs[-1].opclass == InstrClass.INT_ALU \
+                        and instrs[-1].dest >= 0:
+                    # Branch conditions prefer these: induction-variable
+                    # style operands that resolve in one cycle.
+                    recent_alu_dests.append(instrs[-1].dest)
+                    if len(recent_alu_dests) > 4:
+                        recent_alu_dests.pop(0)
+                if instrs[-1].dest >= 0:
+                    recent_dests.append(instrs[-1].dest)
+                    if len(recent_dests) > profile.dep_window:
+                        recent_dests.pop(0)
+                sid += 1
+            term_addr = start + (block_plan.size - 1) * INSTR_BYTES
+            # Behaviour parameters are keyed by structural position
+            # (fid, local_idx) so calibration rescales block sizes
+            # without re-rolling loop trips or branch biases.
+            term_rng = random.Random(mix64(salt, 0xBEAF, fid, local_idx))
+            term_srcs = recent_alu_dests if recent_alu_dests \
+                else recent_dests
+            instrs.append(_make_terminator(
+                term_rng, profile, block_plan, term_addr, sid, fid,
+                block_addr, func_entry_addr, behaviors, term_srcs,
+                mix64(salt, fid, local_idx)))
+            sid += 1
+            blocks.append(StaticBasicBlock(bid, fid, start, instrs))
+            block_ids.append(bid)
+            bid += 1
+        functions.append(Function(fid, block_ids))
+
+    return Program(profile.name, seed, functions, blocks, behaviors,
+                   memgens)
+
+
+def _mix_boost(profile: BenchmarkProfile) -> float:
+    """Correction so the *dynamic* memory mix matches the profile.
+
+    Profile fractions are per instruction, but only ``size - 1`` slots of
+    each block are non-branch; small-block benchmarks (mcf) would
+    otherwise under-shoot their load fraction substantially.
+    """
+    boost = profile.avg_bb_size / max(profile.avg_bb_size - 1.0, 1.0)
+    mix = (profile.load_frac + profile.store_frac + profile.mul_frac
+           + profile.fp_frac)
+    return min(boost, 0.95 / mix)
+
+
+def _make_body_instr(rng: random.Random, profile: BenchmarkProfile,
+                     arena: _DataArena, memgens: list[AddressGenerator],
+                     sid: int, addr: int, recent_dests: list[int],
+                     last_load_dest: int, boost: float) -> StaticInstruction:
+    """Emit one non-branch instruction with realistic dependences."""
+    r = rng.random() / boost
+    srcs = _pick_srcs(rng, recent_dests)
+    dest = rng.choice(_ARCH_REGS)
+    if r < profile.load_frac:
+        memgens.append(arena.make_generator())
+        if last_load_dest >= 0 and rng.random() < profile.chase_chain_p:
+            srcs = (last_load_dest,)
+        return StaticInstruction(sid, addr, InstrClass.LOAD, dest=dest,
+                                 srcs=srcs, memgen=len(memgens) - 1)
+    r -= profile.load_frac
+    if r < profile.store_frac:
+        memgens.append(arena.make_generator())
+        return StaticInstruction(sid, addr, InstrClass.STORE, dest=-1,
+                                 srcs=srcs, memgen=len(memgens) - 1)
+    r -= profile.store_frac
+    if r < profile.mul_frac:
+        return StaticInstruction(sid, addr, InstrClass.INT_MUL, dest=dest,
+                                 srcs=srcs)
+    r -= profile.mul_frac
+    if r < profile.fp_frac:
+        return StaticInstruction(sid, addr, InstrClass.FP_ALU, dest=dest,
+                                 srcs=srcs)
+    return StaticInstruction(sid, addr, InstrClass.INT_ALU, dest=dest,
+                             srcs=srcs)
+
+
+def _pick_srcs(rng: random.Random,
+               recent_dests: list[int]) -> tuple[int, ...]:
+    if not recent_dests:
+        return ()
+    roll = rng.random()
+    if roll < 0.25:
+        return ()                       # immediate/constant operands
+    if len(recent_dests) == 1 or roll < 0.70:
+        return (rng.choice(recent_dests),)
+    return (rng.choice(recent_dests), rng.choice(recent_dests))
+
+
+def _make_terminator(rng: random.Random, profile: BenchmarkProfile,
+                     block_plan: _BlockPlan, addr: int, sid: int, fid: int,
+                     block_addr: list[list[int]],
+                     func_entry_addr: list[int],
+                     behaviors: list[BranchBehavior],
+                     recent_dests: list[int],
+                     salt: int) -> StaticInstruction:
+    """Emit the terminating branch of a block from its plan."""
+    kind = block_plan.kind
+    srcs = _pick_srcs(rng, recent_dests)
+    if kind == BranchKind.RET:
+        return StaticInstruction(sid, addr, InstrClass.BRANCH,
+                                 kind=BranchKind.RET, srcs=())
+    if kind == BranchKind.CALL:
+        target = func_entry_addr[block_plan.callee_fid]
+        return StaticInstruction(sid, addr, InstrClass.BRANCH,
+                                 kind=BranchKind.CALL, dest=31,
+                                 target_addr=target)
+    if kind == BranchKind.JUMP:
+        target = block_addr[fid][block_plan.local_target]
+        return StaticInstruction(sid, addr, InstrClass.BRANCH,
+                                 kind=BranchKind.JUMP, target_addr=target)
+    if kind == BranchKind.IND_JUMP:
+        targets = tuple(block_addr[fid][t] for t in block_plan.ind_targets)
+        behavior = _make_behavior(rng, profile, block_plan.behavior_spec,
+                                  mix64(salt, sid), ind_targets=targets)
+        behaviors.append(behavior)
+        return StaticInstruction(sid, addr, InstrClass.BRANCH,
+                                 kind=BranchKind.IND_JUMP, srcs=srcs,
+                                 behavior=len(behaviors) - 1)
+    if kind == BranchKind.COND:
+        target = block_addr[fid][block_plan.local_target]
+        behavior = _make_behavior(rng, profile, block_plan.behavior_spec,
+                                  mix64(salt, sid))
+        behaviors.append(behavior)
+        return StaticInstruction(sid, addr, InstrClass.BRANCH,
+                                 kind=BranchKind.COND, srcs=srcs,
+                                 target_addr=target,
+                                 behavior=len(behaviors) - 1)
+    raise ValueError(f"unexpected terminator kind {kind!r}")
+
+
+@lru_cache(maxsize=64)
+def program_for(name: str, seed: int = 0) -> Program:
+    """Return the (cached) synthetic program for a SPECint2000 benchmark.
+
+    Args:
+        name: One of the twelve names in
+            :data:`repro.program.profiles.SPECINT2000`.
+        seed: Generation seed; programs are cached per (name, seed).
+    """
+    if name not in SPECINT2000:
+        known = ", ".join(sorted(SPECINT2000))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}")
+    return generate_program(SPECINT2000[name], seed)

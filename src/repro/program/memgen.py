@@ -1,0 +1,103 @@
+"""Deterministic data-address generators.
+
+Each static load/store owns a generator; occurrence *n* of the
+instruction accesses ``generator.address(n)`` — again a pure function,
+so wrong-path memory references are well-defined and architectural
+address streams cannot be corrupted by speculation.
+
+Three access archetypes cover the cache behaviours the paper's workload
+classes need:
+
+* ``StackGenerator`` — tiny hot region, essentially always hits;
+* ``StrideGenerator`` — sequential array walks with spatial locality;
+* ``ChaseGenerator`` — pointer chasing spread over a working set; with a
+  working set far beyond the cache this produces the long-latency misses
+  that make a benchmark "memory bounded" in the paper's sense.
+"""
+
+from __future__ import annotations
+
+from repro.util.bits import mix64
+
+_WORD = 8
+"""Access granularity in bytes; keeps accesses line-aligned-friendly."""
+
+
+class AddressGenerator:
+    """Interface: effective address of the n-th occurrence."""
+
+    __slots__ = ()
+
+    def address(self, n: int) -> int:
+        """Return the effective address of occurrence ``n`` (0-based)."""
+        raise NotImplementedError
+
+    def footprint(self) -> int:
+        """Return the size in bytes of the region this generator touches."""
+        raise NotImplementedError
+
+
+class StackGenerator(AddressGenerator):
+    """Accesses within a small frame-like region (hits after warm-up)."""
+
+    __slots__ = ("base", "size", "salt")
+
+    def __init__(self, base: int, size: int, salt: int) -> None:
+        if size < _WORD:
+            raise ValueError(f"stack region must be >= {_WORD} bytes")
+        self.base = base
+        self.size = size
+        self.salt = salt
+
+    def address(self, n: int) -> int:
+        slot = mix64(self.salt, n) % (self.size // _WORD)
+        return self.base + slot * _WORD
+
+    def footprint(self) -> int:
+        return self.size
+
+
+class StrideGenerator(AddressGenerator):
+    """Strided walk over an array: ``base + (n * stride) mod ws``."""
+
+    __slots__ = ("base", "stride", "ws")
+
+    def __init__(self, base: int, stride: int, ws: int) -> None:
+        if ws < _WORD:
+            raise ValueError(f"working set must be >= {_WORD} bytes")
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        self.base = base
+        self.stride = stride
+        self.ws = ws
+
+    def address(self, n: int) -> int:
+        return self.base + (n * self.stride) % self.ws
+
+    def footprint(self) -> int:
+        return self.ws
+
+
+class ChaseGenerator(AddressGenerator):
+    """Pointer-chase: pseudo-random word within a working set.
+
+    With ``ws`` much larger than the cache this yields a miss rate close
+    to 1 and no spatial locality — the archetypal mcf/twolf access
+    pattern that drives the paper's Section 5.2 results.
+    """
+
+    __slots__ = ("base", "ws", "salt")
+
+    def __init__(self, base: int, ws: int, salt: int) -> None:
+        if ws < _WORD:
+            raise ValueError(f"working set must be >= {_WORD} bytes")
+        self.base = base
+        self.ws = ws
+        self.salt = salt
+
+    def address(self, n: int) -> int:
+        slot = mix64(self.salt, n) % (self.ws // _WORD)
+        return self.base + slot * _WORD
+
+    def footprint(self) -> int:
+        return self.ws

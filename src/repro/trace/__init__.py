@@ -1,0 +1,18 @@
+"""Architectural execution: correct-path walking over synthetic programs.
+
+``ThreadContext`` holds the architectural state of one hardware thread
+(program counter, return stack, per-instruction occurrence counters) and
+implements the paper's trace-driven semantics: the front-end may fetch
+down *any* predicted path via the basic-block dictionary, while the
+context tracks where the architectural path actually goes and flags the
+first divergence.
+
+``walk`` exposes the plain correct-path instruction stream, used to
+characterise workloads (dynamic basic-block size, taken rate, stream
+lengths) independently of any microarchitecture.
+"""
+
+from repro.trace.context import ThreadContext
+from repro.trace.walker import StreamSummary, dynamic_stats, walk
+
+__all__ = ["StreamSummary", "ThreadContext", "dynamic_stats", "walk"]

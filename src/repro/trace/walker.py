@@ -1,0 +1,95 @@
+"""Correct-path trace iteration and workload characterisation.
+
+Independent of any microarchitecture: these helpers replay the
+architectural path of a program, which is how the synthetic workloads
+are validated against the paper's Table 1 (dynamic basic-block size) and
+how stream-length statistics — the quantity behind the stream fetch
+engine's advantage — are measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import StaticInstruction
+from repro.program.blocks import Program
+from repro.trace.context import ThreadContext
+
+
+def walk(program: Program, max_instructions: int):
+    """Yield ``(static, taken, target)`` along the correct path.
+
+    Args:
+        program: Program to execute.
+        max_instructions: Number of dynamic instructions to produce.
+    """
+    ctx = ThreadContext(program)
+    for _ in range(max_instructions):
+        static = program.instr_at(ctx.pc)
+        if static is None:  # pragma: no cover - validated programs are total
+            raise RuntimeError(f"architectural pc {ctx.pc:#x} unmapped")
+        taken, target = ctx.step(static)
+        yield static, taken, target
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """Dynamic characterisation of a program's correct path.
+
+    Attributes:
+        instructions: Dynamic instructions measured.
+        branches: Dynamic branch instances (any kind).
+        taken_branches: Dynamic taken-branch instances.
+        avg_block_size: Instructions per branch — the paper's Table 1
+            "Avg BB size".
+        avg_stream_length: Instructions per taken branch — the expected
+            fetch-block length of a perfect stream front-end.
+        taken_rate: Fraction of branches that are taken.
+        load_frac / store_frac: Dynamic memory-instruction mix.
+    """
+
+    instructions: int
+    branches: int
+    taken_branches: int
+    avg_block_size: float
+    avg_stream_length: float
+    taken_rate: float
+    load_frac: float
+    store_frac: float
+
+
+def dynamic_stats(program: Program,
+                  max_instructions: int = 200_000) -> StreamSummary:
+    """Measure dynamic block/stream statistics along the correct path."""
+    branches = 0
+    taken_branches = 0
+    loads = 0
+    stores = 0
+    instructions = 0
+    for static, taken, _ in walk(program, max_instructions):
+        instructions += 1
+        if static.is_branch:
+            branches += 1
+            if taken:
+                taken_branches += 1
+        elif static.opclass.name == "LOAD":
+            loads += 1
+        elif static.opclass.name == "STORE":
+            stores += 1
+    return StreamSummary(
+        instructions=instructions,
+        branches=branches,
+        taken_branches=taken_branches,
+        avg_block_size=instructions / max(branches, 1),
+        avg_stream_length=instructions / max(taken_branches, 1),
+        taken_rate=taken_branches / max(branches, 1),
+        load_frac=loads / max(instructions, 1),
+        store_frac=stores / max(instructions, 1),
+    )
+
+
+def first_static(program: Program) -> StaticInstruction:
+    """The entry instruction of a program (convenience for tests)."""
+    static = program.instr_at(program.entry_addr)
+    assert static is not None
+    return static

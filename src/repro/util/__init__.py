@@ -1,0 +1,10 @@
+"""Small shared utilities: deterministic hashing and bit manipulation.
+
+Everything stochastic in :mod:`repro` (program generation, branch
+behaviours, address streams) is derived from these pure functions so that
+simulations are exactly reproducible from a single seed.
+"""
+
+from repro.util.bits import MASK64, fold_bits, mix64, splitmix64, unit_float
+
+__all__ = ["MASK64", "fold_bits", "mix64", "splitmix64", "unit_float"]

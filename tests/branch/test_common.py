@@ -1,0 +1,119 @@
+"""Tests for shared predictor table machinery."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.branch.common import SaturatingCounterTable, SetAssocTable
+
+
+class TestSaturatingCounterTable:
+    def test_initial_prediction_not_taken(self):
+        t = SaturatingCounterTable(16)
+        assert not t.predict(0)
+
+    def test_two_updates_flip_prediction(self):
+        t = SaturatingCounterTable(16)
+        t.update(5, True)
+        assert t.predict(5)          # 1 -> 2: weakly taken
+        t.update(5, True)
+        assert t.counter(5) == 3
+
+    def test_saturation_high(self):
+        t = SaturatingCounterTable(16)
+        for _ in range(10):
+            t.update(3, True)
+        assert t.counter(3) == 3
+
+    def test_saturation_low(self):
+        t = SaturatingCounterTable(16)
+        for _ in range(10):
+            t.update(3, False)
+        assert t.counter(3) == 0
+
+    def test_hysteresis(self):
+        t = SaturatingCounterTable(16)
+        for _ in range(4):
+            t.update(7, True)
+        t.update(7, False)           # 3 -> 2: still predicts taken
+        assert t.predict(7)
+
+    def test_index_wraps(self):
+        t = SaturatingCounterTable(16)
+        t.update(16 + 2, True)
+        assert t.counter(2) == 2
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            SaturatingCounterTable(12)
+
+    @given(st.lists(st.tuples(st.integers(0, 1023), st.booleans()),
+                    max_size=200))
+    def test_counters_stay_in_range(self, ops):
+        t = SaturatingCounterTable(64)
+        for index, taken in ops:
+            t.update(index, taken)
+        assert all(0 <= t.counter(i) <= 3 for i in range(64))
+
+
+class TestSetAssocTable:
+    def test_miss_then_hit(self):
+        t = SetAssocTable(entries=8, assoc=2)
+        assert t.lookup(0, 0x100) is None
+        t.insert(0, 0x100, "a")
+        assert t.lookup(0, 0x100) == "a"
+
+    def test_lru_eviction(self):
+        t = SetAssocTable(entries=8, assoc=2)
+        t.insert(1, 0x10, "a")
+        t.insert(1, 0x20, "b")
+        t.lookup(1, 0x10)            # promote "a" to MRU
+        t.insert(1, 0x30, "c")       # evicts "b"
+        assert t.lookup(1, 0x20) is None
+        assert t.lookup(1, 0x10) == "a"
+        assert t.lookup(1, 0x30) == "c"
+
+    def test_overwrite_same_key(self):
+        t = SetAssocTable(entries=8, assoc=2)
+        t.insert(0, 0x10, "a")
+        t.insert(0, 0x10, "b")
+        assert t.lookup(0, 0x10) == "b"
+        assert t.occupancy() == 1
+
+    def test_sets_are_independent(self):
+        t = SetAssocTable(entries=8, assoc=2)
+        t.insert(0, 0x10, "a")
+        assert t.lookup(1, 0x10) is None
+
+    def test_index_wraps(self):
+        t = SetAssocTable(entries=8, assoc=2)   # 4 sets
+        t.insert(4, 0x10, "a")                  # same set as index 0
+        assert t.lookup(0, 0x10) == "a"
+
+    def test_hit_miss_counters(self):
+        t = SetAssocTable(entries=8, assoc=2)
+        t.lookup(0, 1)
+        t.insert(0, 1, "x")
+        t.lookup(0, 1)
+        assert t.misses == 1
+        # the second lookup hit; insert does not count
+        assert t.hits == 1
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssocTable(entries=10, assoc=4)
+        with pytest.raises(ValueError):
+            SetAssocTable(entries=24, assoc=4)   # 6 sets: not a power of 2
+
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 50)),
+                    max_size=300))
+    def test_occupancy_bounded_by_capacity(self, ops):
+        t = SetAssocTable(entries=16, assoc=4)
+        for index, key in ops:
+            t.insert(index, key, key)
+        assert t.occupancy() <= 16
+        for index in range(4):
+            # within a set, each key at most once
+            entries = t._sets[index]
+            keys = [k for k, _ in entries]
+            assert len(keys) == len(set(keys))

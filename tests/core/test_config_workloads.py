@@ -1,0 +1,99 @@
+"""Tests for the Table 3 configuration and Table 2 workloads."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, SimConfig
+from repro.core.workloads import (
+    ILP_WORKLOADS,
+    MEM_WORKLOADS,
+    WORKLOADS,
+    workload_benchmarks,
+)
+from repro.program import SPECINT2000
+
+
+class TestTable3Defaults:
+    def test_fetch_side(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.fetch_buffer == 32
+        assert cfg.ftq_depth == 4
+        assert cfg.ras_entries == 64
+
+    def test_predictor_sizes(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.gshare_entries == 64 * 1024
+        assert cfg.gskew_bank_entries == 32 * 1024
+        assert cfg.btb_entries == 2048 and cfg.btb_assoc == 4
+        assert cfg.ftb_entries == 2048 and cfg.ftb_assoc == 4
+        assert cfg.stream_l1_entries == 1024
+        assert cfg.stream_l2_entries == 4096
+
+    def test_memory_system(self):
+        cfg = DEFAULT_CONFIG
+        assert (cfg.l1i_kb, cfg.l1i_assoc) == (32, 2)
+        assert (cfg.l1d_kb, cfg.l1d_assoc) == (32, 2)
+        assert (cfg.l2_kb, cfg.l2_assoc, cfg.l2_latency) == (1024, 2, 10)
+        assert cfg.memory_latency == 100
+        assert cfg.line_bytes == 64
+        assert cfg.cache_banks == 8
+        assert (cfg.itlb_entries, cfg.dtlb_entries) == (48, 128)
+
+    def test_core_resources(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.decode_width == 8
+        assert cfg.rob_entries == 256
+        assert (cfg.iq_int, cfg.iq_ldst, cfg.iq_fp) == (32, 32, 32)
+        assert (cfg.int_regs, cfg.fp_regs) == (384, 384)
+        assert (cfg.int_units, cfg.ldst_units, cfg.fp_units) == (6, 4, 3)
+
+    def test_with_override(self):
+        cfg = DEFAULT_CONFIG.with_(ftq_depth=8)
+        assert cfg.ftq_depth == 8
+        assert DEFAULT_CONFIG.ftq_depth == 4
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CONFIG.ftq_depth = 9
+
+    def test_history_shortening_documented(self):
+        # The scale substitution: history shorter than the paper's 16/15
+        # (see DESIGN.md) but configurable back up.
+        assert DEFAULT_CONFIG.gshare_history < 16
+        big = SimConfig(gshare_history=16, gskew_history=15)
+        assert big.gshare_history == 16
+
+
+class TestTable2Workloads:
+    def test_exact_composition(self):
+        assert WORKLOADS["2_ILP"] == ("eon", "gcc")
+        assert WORKLOADS["2_MEM"] == ("mcf", "twolf")
+        assert WORKLOADS["2_MIX"] == ("gzip", "twolf")
+        assert WORKLOADS["4_MEM"] == ("mcf", "twolf", "vpr", "perlbmk")
+        assert WORKLOADS["8_ILP"] == ("eon", "gcc", "gzip", "bzip2",
+                                      "crafty", "vortex", "gap", "parser")
+        assert WORKLOADS["8_MIX"] == ("gzip", "twolf", "bzip2", "mcf",
+                                      "vpr", "eon", "gap", "parser")
+
+    def test_ten_workloads(self):
+        assert len(WORKLOADS) == 10
+
+    def test_all_benchmarks_exist(self):
+        for benchmarks in WORKLOADS.values():
+            for name in benchmarks:
+                assert name in SPECINT2000
+
+    def test_groupings_cover_plot_sets(self):
+        assert set(ILP_WORKLOADS) == {"2_ILP", "4_ILP", "6_ILP", "8_ILP"}
+        assert set(MEM_WORKLOADS) == {"2_MIX", "2_MEM", "4_MIX", "4_MEM",
+                                      "6_MIX", "8_MIX"}
+
+    def test_mem_only_at_2_and_4(self):
+        # The paper: "a MEM workload is only feasible for 2 and 4
+        # threads" given SPECint2000's composition.
+        assert "6_MEM" not in WORKLOADS
+        assert "8_MEM" not in WORKLOADS
+
+    def test_lookup_helper(self):
+        assert workload_benchmarks("2_MIX") == ("gzip", "twolf")
+        with pytest.raises(KeyError, match="unknown workload"):
+            workload_benchmarks("3_FOO")

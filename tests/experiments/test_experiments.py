@@ -1,0 +1,97 @@
+"""Tests for the experiment harness (figures, claims, runner)."""
+
+import pytest
+
+from repro.core.workloads import WORKLOADS
+from repro.experiments import (
+    FIGURES,
+    PAPER_CLAIMS,
+    check_claims,
+    format_claims,
+    format_figure,
+    measure,
+    run_figure,
+)
+from repro.experiments.figures import ALL_ENGINES
+from repro.experiments.runner import ClaimOutcome
+
+FAST = dict(cycles=800, warmup=400)
+
+
+class TestFigureSpecs:
+    def test_all_ten_figures_defined(self):
+        assert set(FIGURES) == {"fig2", "fig4", "fig5a", "fig5b", "fig6a",
+                                "fig6b", "fig7a", "fig7b", "fig8a",
+                                "fig8b"}
+
+    def test_metrics_valid(self):
+        for spec in FIGURES.values():
+            assert spec.metric in ("ipfc", "ipc")
+
+    def test_workloads_exist(self):
+        for spec in FIGURES.values():
+            for workload in spec.workloads:
+                assert workload in WORKLOADS
+
+    def test_fetch_commit_figure_pairs_share_grids(self):
+        for a, b in (("fig5a", "fig5b"), ("fig6a", "fig6b"),
+                     ("fig7a", "fig7b"), ("fig8a", "fig8b")):
+            sa, sb = FIGURES[a], FIGURES[b]
+            assert sa.workloads == sb.workloads
+            assert sa.policies == sb.policies
+            assert (sa.metric, sb.metric) == ("ipfc", "ipc")
+
+
+class TestRunner:
+    def test_measure_caches(self):
+        a = measure("2_MIX", "gshare+BTB", "ICOUNT.1.8", **FAST)
+        b = measure("2_MIX", "gshare+BTB", "ICOUNT.1.8", **FAST)
+        assert a is b
+
+    def test_run_figure_fills_grid(self):
+        result = run_figure(FIGURES["fig2"], **FAST)
+        assert len(result.values) == 2
+        assert result.value("2_MIX", "gshare+BTB", "ICOUNT.1.8") > 0
+
+    def test_average_over_workloads(self):
+        result = run_figure(FIGURES["fig2"], **FAST)
+        avg = result.average_over_workloads("gshare+BTB", "ICOUNT.1.8")
+        assert avg == result.value("2_MIX", "gshare+BTB", "ICOUNT.1.8")
+
+    def test_format_figure_contains_cells(self):
+        result = run_figure(FIGURES["fig2"], **FAST)
+        text = format_figure(result)
+        assert "fig2" in text
+        assert "ICOUNT.1.16" in text
+
+
+class TestClaims:
+    def test_claim_grid_cells_are_valid(self):
+        for claim in PAPER_CLAIMS:
+            for engine, policy in (claim.numer, claim.denom):
+                assert engine in ALL_ENGINES
+                assert policy.startswith(("ICOUNT.", "RR."))
+            for workload in claim.workloads:
+                assert workload in WORKLOADS
+
+    def test_check_claims_computes_ratios(self):
+        claims = tuple(c for c in PAPER_CLAIMS
+                       if c.claim_id == "fig4-2.8-vs-1.8")
+        outcomes = check_claims(claims, **FAST)
+        assert len(outcomes) == 1
+        assert outcomes[0].measured_ratio > 0
+
+    def test_format_claims(self):
+        claims = tuple(c for c in PAPER_CLAIMS
+                       if c.claim_id == "fig4-2.8-vs-1.8")
+        text = format_claims(check_claims(claims, **FAST))
+        assert "fig4-2.8-vs-1.8" in text
+
+    def test_outcome_verdicts(self):
+        claim = PAPER_CLAIMS[0]
+        assert ClaimOutcome(claim, claim.paper_ratio).holds
+        missed = ClaimOutcome(claim, claim.paper_ratio
+                              + claim.tolerance + 0.01)
+        assert not missed.holds
+        inverted = ClaimOutcome(claim, 1 / claim.paper_ratio)
+        assert not inverted.direction_holds or claim.paper_ratio == 1

@@ -1,0 +1,124 @@
+"""Tests for the set-associative banked cache model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.cache import Cache
+
+
+def small_cache(assoc=2):
+    # 1KB, 2-way, 64B lines -> 8 sets
+    return Cache("T", 1024, assoc)
+
+
+class TestProbeFill:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert not c.probe(0x1000, 0)
+        c.fill(0x1000, 0)
+        assert c.probe(0x1000, 0)
+
+    def test_same_line_different_offset_hits(self):
+        c = small_cache()
+        c.fill(0x1000, 0)
+        assert c.probe(0x103F, 0)
+
+    def test_adjacent_line_misses(self):
+        c = small_cache()
+        c.fill(0x1000, 0)
+        assert not c.probe(0x1040, 0)
+
+    def test_lru_eviction_within_set(self):
+        c = small_cache(assoc=2)
+        set_stride = 8 * 64              # same set every 8 lines
+        a, b, d = 0x0, set_stride, 2 * set_stride
+        c.fill(a, 0)
+        c.fill(b, 0)
+        c.probe(a, 0)                    # promote a
+        c.fill(d, 0)                     # evicts b
+        assert c.contains(a, 0)
+        assert not c.contains(b, 0)
+        assert c.contains(d, 0)
+
+    def test_fill_is_idempotent(self):
+        c = small_cache()
+        c.fill(0x1000, 0)
+        c.fill(0x1000, 0)
+        occupancy = sum(len(s) for s in c._sets)
+        assert occupancy == 1
+
+
+class TestAsid:
+    def test_asids_do_not_alias(self):
+        c = small_cache()
+        c.fill(0x1000, asid=0)
+        assert not c.probe(0x1000, asid=1)
+
+    def test_asids_map_to_different_sets(self):
+        # Physical-indexing emulation: the same virtual line of two
+        # threads should usually land in different sets.
+        c = small_cache(assoc=2)
+        spread = {c._key(0x1000, asid)[0] for asid in range(4)}
+        assert len(spread) > 1
+
+    def test_asids_share_capacity(self):
+        c = small_cache(assoc=2)        # 1KB: 16 lines total
+        c.fill(0x1000, asid=0)
+        # Thread 1 streams through far more lines than the cache holds.
+        for k in range(64):
+            c.fill(k * 64, asid=1)
+        assert not c.contains(0x1000, 0)
+
+
+class TestBanks:
+    def test_bank_interleaving_by_line(self):
+        c = small_cache()
+        assert c.bank_of(0x0) == 0
+        assert c.bank_of(0x40) == 1
+        assert c.bank_of(0x40 * 8) == 0
+
+    def test_same_line_same_bank(self):
+        c = small_cache()
+        assert c.bank_of(0x1000) == c.bank_of(0x103F)
+
+
+class TestStats:
+    def test_miss_rate(self):
+        c = small_cache()
+        c.probe(0x0, 0)
+        c.fill(0x0, 0)
+        c.probe(0x0, 0)
+        c.probe(0x0, 0)
+        assert c.accesses == 3
+        assert c.miss_rate == pytest.approx(1 / 3)
+
+    def test_contains_does_not_touch_stats(self):
+        c = small_cache()
+        c.contains(0x0, 0)
+        assert c.accesses == 0
+
+
+class TestGeometry:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 1000, 2)
+        with pytest.raises(ValueError):
+            Cache("bad", 1024, 2, line_bytes=48)
+        with pytest.raises(ValueError):
+            Cache("bad", 3 * 64 * 2, 2)   # 3 sets
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+    def test_occupancy_never_exceeds_ways(self, addrs):
+        c = small_cache(assoc=2)
+        for addr in addrs:
+            if not c.probe(addr, 0):
+                c.fill(addr, 0)
+        assert all(len(s) <= 2 for s in c._sets)
+
+    @given(st.lists(st.integers(0, 1 << 14), min_size=1, max_size=200))
+    def test_probe_after_fill_always_hits(self, addrs):
+        c = Cache("T", 64 * 1024, 4)    # big enough not to evict here
+        for addr in addrs:
+            c.fill(addr, 0)
+        assert all(c.probe(a, 0) for a in addrs)

@@ -1,0 +1,73 @@
+"""Tests for the MSHR file and TLBs."""
+
+import pytest
+
+from repro.memory.mshr import MshrFile
+from repro.memory.tlb import Tlb
+
+
+class TestMshr:
+    def test_allocate_and_ready(self):
+        m = MshrFile(2)
+        assert m.request(0, 0x10, cycle=0, ready_cycle=100) == 100
+        assert m.outstanding(0) == 1
+
+    def test_coalesce_same_line(self):
+        m = MshrFile(2)
+        m.request(0, 0x10, 0, 100)
+        assert m.request(0, 0x10, 5, 200) == 100   # keeps earlier fill
+        assert m.outstanding(5) == 1
+        assert m.coalesced == 1
+
+    def test_full_rejects(self):
+        m = MshrFile(2)
+        m.request(0, 0x10, 0, 100)
+        m.request(0, 0x20, 0, 100)
+        assert m.request(0, 0x30, 0, 100) is None
+        assert m.rejections == 1
+
+    def test_entries_release_at_ready(self):
+        m = MshrFile(1)
+        m.request(0, 0x10, 0, 50)
+        assert m.request(0, 0x20, 50, 150) == 150   # old entry drained
+
+    def test_distinct_asids_distinct_entries(self):
+        m = MshrFile(2)
+        m.request(0, 0x10, 0, 100)
+        assert m.request(1, 0x10, 0, 120) == 120
+        assert m.outstanding(0) == 2
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+
+class TestTlb:
+    def test_first_access_misses(self):
+        t = Tlb(4)
+        assert t.access(0x1000, 0) == t.miss_penalty
+
+    def test_second_access_hits(self):
+        t = Tlb(4)
+        t.access(0x1000, 0)
+        assert t.access(0x1234, 0) == 0          # same 8KB page
+
+    def test_capacity_lru(self):
+        t = Tlb(2, page_bytes=4096)
+        t.access(0x0000, 0)
+        t.access(0x1000, 0)
+        t.access(0x0000, 0)                       # refresh page 0
+        t.access(0x2000, 0)                       # evicts page 1 (LRU)
+        assert t.access(0x0800, 0) == 0           # page 0 retained
+        assert t.access(0x1000, 0) == t.miss_penalty
+
+    def test_asids_are_separate(self):
+        t = Tlb(4)
+        t.access(0x1000, 0)
+        assert t.access(0x1000, 1) == t.miss_penalty
+
+    def test_stats(self):
+        t = Tlb(4)
+        t.access(0x0, 0)
+        t.access(0x0, 0)
+        assert (t.hits, t.misses) == (1, 1)

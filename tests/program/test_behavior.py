@@ -1,0 +1,119 @@
+"""Tests for deterministic branch behaviours."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.program.behavior import (
+    BiasedBehavior,
+    IndirectBehavior,
+    LoopBehavior,
+    PatternBehavior,
+)
+
+
+class TestLoopBehavior:
+    def test_trip_three(self):
+        b = LoopBehavior(3)
+        outcomes = [b.taken(n) for n in range(9)]
+        assert outcomes == [True, True, False] * 3
+
+    def test_trip_one_never_taken(self):
+        b = LoopBehavior(1)
+        assert not any(b.taken(n) for n in range(10))
+
+    def test_invalid_trip(self):
+        with pytest.raises(ValueError):
+            LoopBehavior(0)
+
+    @given(st.integers(min_value=2, max_value=64),
+           st.integers(min_value=0, max_value=10_000))
+    def test_periodicity(self, trip, n):
+        b = LoopBehavior(trip)
+        assert b.taken(n) == b.taken(n + trip)
+
+    @given(st.integers(min_value=2, max_value=64))
+    def test_taken_rate(self, trip):
+        b = LoopBehavior(trip)
+        taken = sum(b.taken(n) for n in range(trip * 10))
+        assert taken == (trip - 1) * 10
+
+
+class TestBiasedBehavior:
+    def test_deterministic(self):
+        a = BiasedBehavior(0.5, salt=99)
+        b = BiasedBehavior(0.5, salt=99)
+        assert [a.taken(n) for n in range(100)] == \
+               [b.taken(n) for n in range(100)]
+
+    def test_salt_changes_stream(self):
+        a = BiasedBehavior(0.5, salt=1)
+        b = BiasedBehavior(0.5, salt=2)
+        assert [a.taken(n) for n in range(200)] != \
+               [b.taken(n) for n in range(200)]
+
+    def test_never_taken(self):
+        b = BiasedBehavior(0.0, salt=5)
+        assert not any(b.taken(n) for n in range(1000))
+
+    def test_always_taken(self):
+        b = BiasedBehavior(1.0, salt=5)
+        assert all(b.taken(n) for n in range(1000))
+
+    @given(st.floats(min_value=0.1, max_value=0.9),
+           st.integers(min_value=0, max_value=2**32))
+    def test_empirical_rate(self, p, salt):
+        b = BiasedBehavior(p, salt)
+        rate = sum(b.taken(n) for n in range(2000)) / 2000
+        assert abs(rate - p) < 0.06
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            BiasedBehavior(1.5, salt=0)
+
+
+class TestPatternBehavior:
+    def test_follows_pattern(self):
+        pattern = (True, False, False, True)
+        b = PatternBehavior(pattern)
+        for n in range(40):
+            assert b.taken(n) == pattern[n % 4]
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            PatternBehavior(())
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=16),
+           st.integers(min_value=0, max_value=10_000))
+    def test_periodicity(self, bits, n):
+        b = PatternBehavior(tuple(bits))
+        assert b.taken(n) == b.taken(n + len(bits))
+
+
+class TestIndirectBehavior:
+    def test_always_taken(self):
+        b = IndirectBehavior((0x100, 0x200), salt=7)
+        assert all(b.taken(n) for n in range(50))
+
+    def test_targets_within_set(self):
+        targets = (0x100, 0x200, 0x300)
+        b = IndirectBehavior(targets, salt=7, regularity=0.5)
+        assert all(b.target(n) in targets for n in range(500))
+
+    def test_dominant_target_frequency(self):
+        targets = (0x100, 0x200, 0x300)
+        b = IndirectBehavior(targets, salt=11, regularity=0.8)
+        dominant = sum(b.target(n) == 0x100 for n in range(2000)) / 2000
+        assert dominant > 0.75
+
+    def test_single_target(self):
+        b = IndirectBehavior((0xABC,), salt=3, regularity=0.0)
+        assert all(b.target(n) == 0xABC for n in range(100))
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            IndirectBehavior((), salt=1)
+
+    def test_invalid_regularity(self):
+        with pytest.raises(ValueError):
+            IndirectBehavior((1,), salt=1, regularity=1.5)

@@ -1,0 +1,140 @@
+"""Tests for the per-thread architectural context."""
+
+import pytest
+
+from repro.isa.instruction import BranchKind, InstrClass, StaticInstruction
+from repro.program.behavior import LoopBehavior
+from repro.program.blocks import Function, Program, StaticBasicBlock
+from repro.program.memgen import StrideGenerator
+from repro.trace.context import ThreadContext, WalkError
+
+
+def build_program():
+    """main: loop block (load + cond), call block, target fn with ret."""
+    loop = StaticBasicBlock(0, 0, 0x1000, [
+        StaticInstruction(0, 0x1000, InstrClass.LOAD, dest=1, memgen=0),
+        StaticInstruction(1, 0x1004, InstrClass.BRANCH,
+                          kind=BranchKind.COND, target_addr=0x1000,
+                          behavior=0),
+    ])
+    caller = StaticBasicBlock(1, 0, 0x1008, [
+        StaticInstruction(2, 0x1008, InstrClass.BRANCH,
+                          kind=BranchKind.CALL, dest=31,
+                          target_addr=0x1010),
+    ])
+    main_tail = StaticBasicBlock(2, 0, 0x100C, [
+        StaticInstruction(3, 0x100C, InstrClass.BRANCH,
+                          kind=BranchKind.JUMP, target_addr=0x1000),
+    ])
+    callee = StaticBasicBlock(3, 1, 0x1010, [
+        StaticInstruction(4, 0x1010, InstrClass.INT_ALU, dest=2),
+        StaticInstruction(5, 0x1014, InstrClass.BRANCH,
+                          kind=BranchKind.RET),
+    ])
+    return Program("t", 0,
+                   [Function(0, [0, 1, 2]), Function(1, [3])],
+                   [loop, caller, main_tail, callee],
+                   [LoopBehavior(2)],
+                   [StrideGenerator(0x8000, 8, 64)])
+
+
+@pytest.fixture
+def program():
+    return build_program()
+
+
+@pytest.fixture
+def ctx(program):
+    return ThreadContext(program, tid=0)
+
+
+def run_steps(ctx, n):
+    outcomes = []
+    for _ in range(n):
+        static = ctx.program.instr_at(ctx.pc)
+        outcomes.append((static, *ctx.step(static)))
+    return outcomes
+
+
+class TestStep:
+    def test_loop_iterates_then_exits(self, ctx):
+        # trip=2: first cond taken (loop again), second not taken.
+        steps = run_steps(ctx, 4)
+        kinds = [(s.addr, taken) for s, taken, _ in steps]
+        assert kinds == [(0x1000, False), (0x1004, True),
+                         (0x1000, False), (0x1004, False)]
+        assert ctx.pc == 0x1008
+
+    def test_call_and_ret(self, ctx):
+        run_steps(ctx, 4)              # drain the loop
+        static = ctx.program.instr_at(ctx.pc)
+        taken, target = ctx.step(static)   # the call
+        assert taken and target == 0x1010
+        assert ctx.call_depth == 1
+        run_steps(ctx, 1)              # callee body
+        static = ctx.program.instr_at(ctx.pc)
+        taken, target = ctx.step(static)   # the ret
+        assert taken and target == 0x100C
+        assert ctx.call_depth == 0
+
+    def test_jump_back_to_entry(self, ctx):
+        run_steps(ctx, 7)              # loop x4, call, alu, ret
+        static = ctx.program.instr_at(ctx.pc)
+        assert static.kind == BranchKind.JUMP
+        ctx.step(static)
+        assert ctx.pc == 0x1000
+
+    def test_wrong_address_raises(self, ctx):
+        wrong = ctx.program.instr_at(0x1008)
+        with pytest.raises(WalkError, match="architectural pc"):
+            ctx.step(wrong)
+
+    def test_step_while_diverged_raises(self, ctx):
+        ctx.mark_diverged()
+        static = ctx.program.instr_at(0x1000)
+        with pytest.raises(WalkError, match="diverged"):
+            ctx.step(static)
+
+
+class TestDivergence:
+    def test_recover_returns_architectural_pc(self, ctx):
+        run_steps(ctx, 2)
+        pc_before = ctx.pc
+        ctx.mark_diverged()
+        assert ctx.recover() == pc_before
+        assert not ctx.diverged
+
+
+class TestDataAddress:
+    def test_correct_path_uses_counted_occurrence(self, ctx):
+        load = ctx.program.instr_at(0x1000)
+        ctx.step(load)
+        addr0 = ctx.data_address(load, correct_path=True)
+        assert addr0 == 0x8000          # occurrence 0 of the stride walk
+
+    def test_wrong_path_peeks_without_consuming(self, ctx):
+        load = ctx.program.instr_at(0x1000)
+        ctx.step(load)
+        _ = ctx.data_address(load, correct_path=True)
+        # A wrong-path instance sees the *next* occurrence...
+        spec = ctx.data_address(load, correct_path=False)
+        assert spec == 0x8008
+        # ...but does not consume it: stepping again still yields it.
+        run_steps(ctx, 1)               # the cond branch, loops back
+        ctx.step(load)
+        assert ctx.data_address(load, correct_path=True) == 0x8008
+
+    def test_non_memory_instruction_rejected(self, ctx):
+        branch = ctx.program.instr_at(0x1004)
+        with pytest.raises(WalkError, match="address generator"):
+            ctx.data_address(branch, correct_path=True)
+
+
+class TestRetUnderflow:
+    def test_ret_with_empty_stack_restarts(self, program):
+        ctx = ThreadContext(program)
+        ctx.pc = 0x1014                 # jump straight to the ret
+        static = program.instr_at(0x1014)
+        taken, target = ctx.step(static)
+        assert taken
+        assert target == program.entry_addr

@@ -1,0 +1,45 @@
+"""Tests for correct-path walking and workload characterisation."""
+
+import pytest
+
+from repro.program import program_for
+from repro.trace import dynamic_stats, walk
+
+
+@pytest.fixture(scope="module")
+def gzip():
+    return program_for("gzip")
+
+
+class TestWalk:
+    def test_yields_requested_count(self, gzip):
+        assert sum(1 for _ in walk(gzip, 1000)) == 1000
+
+    def test_follows_control_flow(self, gzip):
+        prev_next = gzip.entry_addr
+        for static, taken, target in walk(gzip, 2000):
+            assert static.addr == prev_next
+            prev_next = target if taken else static.addr + 4
+
+    def test_deterministic(self, gzip):
+        a = [(s.addr, t) for s, t, _ in walk(gzip, 3000)]
+        b = [(s.addr, t) for s, t, _ in walk(gzip, 3000)]
+        assert a == b
+
+
+class TestDynamicStats:
+    def test_consistency(self, gzip):
+        stats = dynamic_stats(gzip, 20_000)
+        assert stats.instructions == 20_000
+        assert 0 < stats.taken_branches <= stats.branches
+        assert stats.avg_block_size == pytest.approx(
+            stats.instructions / stats.branches)
+        assert stats.avg_stream_length == pytest.approx(
+            stats.instructions / stats.taken_branches)
+        assert stats.avg_stream_length >= stats.avg_block_size
+
+    def test_rates_in_unit_interval(self, gzip):
+        stats = dynamic_stats(gzip, 20_000)
+        assert 0 < stats.taken_rate < 1
+        assert 0 < stats.load_frac < 1
+        assert 0 <= stats.store_frac < 1
