@@ -2,14 +2,31 @@
 
 ``REPRO_BENCH_CYCLES`` / ``REPRO_BENCH_WARMUP`` environment variables
 override the per-cell simulation windows (larger = closer to the
-EXPERIMENTS.md numbers, slower).  Grid cells are cached across the whole
-benchmark session, so figures sharing cells (5a/5b, 6a/6b, ...) only
-simulate once.
+EXPERIMENTS.md numbers, slower).  Grid cells are memoised across the
+whole benchmark session, so figures sharing cells (5a/5b, 6a/6b, ...)
+only simulate once.
+
+Two more variables plug the benchmarks into the experiment-execution
+subsystem (they configure the process-wide session behind
+``repro.experiments.measure``/``run_figure``/``check_claims``):
+
+* ``REPRO_BENCH_CACHE_DIR`` — persist grid cells to a content-addressed
+  on-disk cache, so repeated benchmark runs skip unchanged cells;
+* ``REPRO_BENCH_JOBS`` — fan uncached grid cells out across worker
+  processes.
 """
 
 import os
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import DEFAULT_SESSION
 
 BENCH_CYCLES = int(os.environ.get("REPRO_BENCH_CYCLES", "6000"))
 BENCH_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "6000"))
 TIMED_CYCLES = 300
 TIMED_WARMUP = 200
+
+_cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+if _cache_dir:
+    DEFAULT_SESSION.disk = ResultCache(_cache_dir)
+DEFAULT_SESSION.jobs = max(int(os.environ.get("REPRO_BENCH_JOBS", "1")), 1)

@@ -1,36 +1,156 @@
 #!/usr/bin/env python3
-"""Regenerate every figure/table and emit EXPERIMENTS.md to stdout.
+"""Regenerate the paper's figures/tables as Markdown or JSON.
 
 Usage::
 
-    python scripts/run_experiments.py [cycles] > EXPERIMENTS.md
+    python scripts/run_experiments.py [--jobs N] [--cycles C]
+        [--cache-dir DIR | --no-cache] [--only fig2,fig5a,claims]
+        [--format md|json] > EXPERIMENTS.md
 
-The default window (20000 measured cycles per grid cell after 8000
-warm-up cycles) regenerates all ten figures, the Table 1
-characterisation, the fetch-width distributions and the superscalar
-comparison in roughly 15-25 minutes on a laptop.
+All grid cells behind the selected sections are enumerated up front,
+deduplicated, and executed through one
+:class:`repro.experiments.ExperimentSession`: cache misses fan out
+across ``--jobs`` worker processes, and every result lands in a
+persistent content-addressed cache (``--cache-dir``, default
+``.repro-cache``), so a re-run with warm cache completes in seconds
+with zero simulations executed.  Results are cell-for-cell identical
+to a serial run: each simulation is deterministic given (seed, config).
+
+A bare integer positional argument is still accepted as the cycle
+count for backward compatibility with the old
+``run_experiments.py [cycles]`` form.
 """
 
+import argparse
+import json
 import statistics
 import sys
 import time
 
-from repro.core import simulate
-from repro.experiments import FIGURES, PAPER_CLAIMS, check_claims, \
-    format_claims, format_figure, measure, run_figure
+from repro.experiments import FIGURES, PAPER_CLAIMS, ExperimentSession, \
+    format_claims, format_figure
+from repro.experiments.cache import DEFAULT_CACHE_DIR
 from repro.experiments.paper_data import DISTRIBUTION_CLAIMS, \
     FIG2_ANCHORS, SUPERSCALAR_CLAIMS
 from repro.program import SPECINT2000, program_for
 from repro.trace import dynamic_stats
 
+SECTIONS = ("table1", "figures", "claims", "dist", "superscalar")
 
-def main() -> None:
-    cycles = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
-    t0 = time.time()
+SUPERSCALAR_ENGINES = ("gshare+BTB", "gskew+FTB", "stream")
+DIST_WORKLOAD, DIST_ENGINE = "2_MIX", "gshare+BTB"
+
+
+def fmt(x) -> str:
+    """Render an optional paper anchor value for a Markdown cell."""
+    return f"{x:.2f}" if x is not None else "-"
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Regenerate every figure/table of the paper.")
+    parser.add_argument("legacy_cycles", nargs="?", type=int, default=None,
+                        metavar="cycles",
+                        help="positional cycle count (legacy form; "
+                             "--cycles takes precedence)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes for uncached cells "
+                             "(default: 1, serial)")
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="measured cycles per grid cell "
+                             "(default: 20000)")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="warm-up cycles per cell (default: the "
+                             "config's warmup_cycles)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="persistent result cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent cache (in-process "
+                             "memoisation only)")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated subset to regenerate: "
+                             "figure ids (fig2,fig5a,...) and/or section "
+                             f"names ({','.join(SECTIONS)})")
+    parser.add_argument("--format", dest="fmt", choices=("md", "json"),
+                        default="md", help="output format (default: md)")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.cycles is None:
+        args.cycles = args.legacy_cycles if args.legacy_cycles is not None \
+            else 20_000
+    return args
+
+
+def select(only: str | None) -> tuple[set, set]:
+    """Resolve ``--only`` into (sections, figure ids) to regenerate."""
+    if only is None:
+        return set(SECTIONS), set(FIGURES)
+    sections, fig_ids = set(), set()
+    for token in only.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token in SECTIONS:
+            sections.add(token)
+            if token == "figures":
+                fig_ids.update(FIGURES)
+        elif token in FIGURES:
+            sections.add("figures")
+            fig_ids.add(token)
+        else:
+            raise SystemExit(
+                f"unknown --only token {token!r}; expected a figure id "
+                f"({', '.join(FIGURES)}) or a section "
+                f"({', '.join(SECTIONS)})")
+    return sections, fig_ids
+
+
+def enumerate_cells(session: ExperimentSession, sections: set,
+                    fig_ids: set) -> list:
+    """Every simulation cell the selected sections will read."""
+    cells = []
+    if "figures" in sections:
+        for fig_id in fig_ids:
+            cells.extend(session.cells_for_figure(FIGURES[fig_id]))
+    if "claims" in sections:
+        cells.extend(session.cells_for_claims(PAPER_CLAIMS))
+    if "dist" in sections:
+        cells.extend(session.make_cell(DIST_WORKLOAD, DIST_ENGINE, policy)
+                     for policy in DISTRIBUTION_CLAIMS)
+    if "superscalar" in sections:
+        cells.extend(session.make_cell((name,), engine, "ICOUNT.1.8")
+                     for engine in SUPERSCALAR_ENGINES
+                     for name in sorted(SPECINT2000))
+    return cells
+
+
+def table1_rows() -> list[dict]:
+    rows = []
+    for name in sorted(SPECINT2000):
+        profile = SPECINT2000[name]
+        stats = dynamic_stats(program_for(name), 50_000)
+        rows.append({"benchmark": name,
+                     "avg_bb_paper": profile.avg_bb_size,
+                     "avg_bb_measured": stats.avg_block_size,
+                     "avg_stream_length": stats.avg_stream_length})
+    return rows
+
+
+def superscalar_ipc(session: ExperimentSession) -> dict[str, float]:
+    return {engine: statistics.mean(
+        session.measure((name,), engine, "ICOUNT.1.8").ipc
+        for name in sorted(SPECINT2000))
+        for engine in SUPERSCALAR_ENGINES}
+
+
+def emit_markdown(session: ExperimentSession, sections: set, fig_ids: set,
+                  cycles: int, t0: float) -> None:
     print("# EXPERIMENTS — paper vs. measured")
     print()
     print("Regenerated by `python scripts/run_experiments.py "
-          f"{cycles}`.")
+          f"--cycles {cycles}`.")
     print(f"Measured window: {cycles} cycles per grid cell "
           "(Table 3 configuration, warm-up excluded).")
     print()
@@ -41,84 +161,151 @@ def main() -> None:
     print("target. See DESIGN.md for the substitution list.")
     print()
 
-    # ------------------------------------------------------------- Table 1
-    print("## Table 1 — benchmark characteristics")
-    print()
-    print("| benchmark | avg BB (paper) | avg BB (measured) | "
-          "avg stream length |")
-    print("|---|---|---|---|")
-    for name in sorted(SPECINT2000):
-        profile = SPECINT2000[name]
-        stats = dynamic_stats(program_for(name), 50_000)
-        print(f"| {name} | {profile.avg_bb_size:.2f} | "
-              f"{stats.avg_block_size:.2f} | "
-              f"{stats.avg_stream_length:.2f} |")
-    print()
-
-    # ------------------------------------------------------------- figures
-    for fig_id, spec in FIGURES.items():
-        result = run_figure(spec, cycles=cycles)
-        print(f"## {fig_id} — {spec.title}")
+    if "table1" in sections:
+        print("## Table 1 — benchmark characteristics")
         print()
-        print("```")
-        print(format_figure(result))
-        print("```")
-        if fig_id == "fig2":
+        print("| benchmark | avg BB (paper) | avg BB (measured) | "
+              "avg stream length |")
+        print("|---|---|---|---|")
+        for row in table1_rows():
+            print(f"| {row['benchmark']} | {row['avg_bb_paper']:.2f} | "
+                  f"{row['avg_bb_measured']:.2f} | "
+                  f"{row['avg_stream_length']:.2f} |")
+        print()
+
+    if "figures" in sections:
+        for fig_id, spec in FIGURES.items():
+            if fig_id not in fig_ids:
+                continue
+            result = session.run_figure(spec)
+            print(f"## {fig_id} — {spec.title}")
             print()
-            print(f"Paper anchors (read off the figure): "
-                  f"{FIG2_ANCHORS}")
+            print("```")
+            print(format_figure(result))
+            print("```")
+            if fig_id == "fig2":
+                print()
+                print(f"Paper anchors (read off the figure): "
+                      f"{FIG2_ANCHORS}")
+            print()
+
+    if "claims" in sections:
+        print("## Quantitative claims (paper ratio vs measured ratio)")
+        print()
+        print("`holds` = within the claim tolerance; `dir` = direction "
+              "of the")
+        print("effect matches but the magnitude differs; `NO` = shape "
+              "broken.")
+        print()
+        print("```")
+        print(format_claims(session.check_claims(PAPER_CLAIMS)))
+        print("```")
         print()
 
-    # -------------------------------------------------------------- claims
-    print("## Quantitative claims (paper ratio vs measured ratio)")
-    print()
-    print("`holds` = within the claim tolerance; `dir` = direction of the")
-    print("effect matches but the magnitude differs; `NO` = shape broken.")
-    print()
-    print("```")
-    outcomes = check_claims(PAPER_CLAIMS, cycles=cycles)
-    print(format_claims(outcomes))
-    print("```")
+    if "dist" in sections:
+        print("## Sections 3.1/3.2 — instructions-per-fetch-cycle "
+              "distribution")
+        print()
+        print("Share of fetch cycles delivering at least N instructions,")
+        print("gshare+BTB on gzip-twolf (2_MIX):")
+        print()
+        print("| policy | >=4 paper | >=4 meas | >=8 paper | >=8 meas | "
+              ">=16 paper | >=16 meas |")
+        print("|---|---|---|---|---|---|---|")
+        for policy, paper in DISTRIBUTION_CLAIMS.items():
+            meas = session.measure(DIST_WORKLOAD, DIST_ENGINE,
+                                   policy).delivered_at_least
+            print(f"| {policy} | {fmt(paper.get(4))} | {meas[4]:.2f} | "
+                  f"{fmt(paper.get(8))} | {meas[8]:.2f} | "
+                  f"{fmt(paper.get(16))} | {meas[16]:.2f} |")
+        print()
+
+    if "superscalar" in sections:
+        print("## Section 3.3 — superscalar (single-thread) engine "
+              "comparison")
+        print()
+        ipc = superscalar_ipc(session)
+        base = ipc["gshare+BTB"]
+        print("| engine | paper speedup vs gshare+BTB | measured |")
+        print("|---|---|---|")
+        print(f"| gshare+BTB | — | IPC {base:.2f} |")
+        for engine, paper in SUPERSCALAR_CLAIMS.items():
+            print(f"| {engine} | {paper - 1:+.1%} | "
+                  f"{ipc[engine] / base - 1:+.1%} |")
+        print()
+
+    print(f"_Total regeneration time: {time.time() - t0:.0f} s "
+          f"({session.summary()})._")
+
+
+def emit_json(session: ExperimentSession, sections: set, fig_ids: set,
+              cycles: int, t0: float) -> None:
+    doc: dict = {"cycles": cycles}
+    if "table1" in sections:
+        doc["table1"] = table1_rows()
+    if "figures" in sections:
+        doc["figures"] = {}
+        for fig_id, spec in FIGURES.items():
+            if fig_id not in fig_ids:
+                continue
+            result = session.run_figure(spec)
+            doc["figures"][fig_id] = {
+                "title": spec.title, "metric": spec.metric,
+                "values": [{"workload": w, "engine": e, "policy": p,
+                            "value": v}
+                           for (w, e, p), v in result.values.items()]}
+    if "claims" in sections:
+        doc["claims"] = [
+            {"claim_id": o.claim.claim_id,
+             "paper_ratio": o.claim.paper_ratio,
+             "measured_ratio": o.measured_ratio,
+             "holds": o.holds, "direction_holds": o.direction_holds}
+            for o in session.check_claims(PAPER_CLAIMS)]
+    if "dist" in sections:
+        doc["distributions"] = [
+            {"policy": policy, "paper": {str(n): v for n, v
+                                         in paper.items()},
+             "measured": {str(n): v for n, v in session.measure(
+                 DIST_WORKLOAD, DIST_ENGINE,
+                 policy).delivered_at_least.items()}}
+            for policy, paper in DISTRIBUTION_CLAIMS.items()]
+    if "superscalar" in sections:
+        ipc = superscalar_ipc(session)
+        doc["superscalar"] = {
+            "ipc": ipc,
+            "paper_speedup": dict(SUPERSCALAR_CLAIMS),
+            "measured_speedup": {engine: ipc[engine] / ipc["gshare+BTB"]
+                                 for engine in SUPERSCALAR_ENGINES}}
+    doc["meta"] = {"seconds": round(time.time() - t0, 1),
+                   "simulated": session.simulated,
+                   "disk_hits": session.disk_hits}
+    json.dump(doc, sys.stdout, indent=2)
     print()
 
-    # -------------------------------------------- fetch-width distributions
-    print("## Sections 3.1/3.2 — instructions-per-fetch-cycle distribution")
-    print()
-    print("Share of fetch cycles delivering at least N instructions,")
-    print("gshare+BTB on gzip-twolf (2_MIX):")
-    print()
-    print("| policy | >=4 paper | >=4 meas | >=8 paper | >=8 meas | "
-          ">=16 paper | >=16 meas |")
-    print("|---|---|---|---|---|---|---|")
-    for policy, paper in DISTRIBUTION_CLAIMS.items():
-        r = measure("2_MIX", "gshare+BTB", policy, cycles=cycles)
-        meas = r.delivered_at_least
-        def fmt(x):
-            return f"{x:.2f}" if x is not None else "-"
-        print(f"| {policy} | {fmt(paper.get(4))} | {meas[4]:.2f} | "
-              f"{fmt(paper.get(8))} | {meas[8]:.2f} | "
-              f"{fmt(paper.get(16))} | {meas[16]:.2f} |")
-    print()
 
-    # ------------------------------------------------- superscalar engines
-    print("## Section 3.3 — superscalar (single-thread) engine comparison")
-    print()
-    ipc = {}
-    for engine in ("gshare+BTB", "gskew+FTB", "stream"):
-        vals = []
-        for name in sorted(SPECINT2000):
-            r = measure((name,), engine, "ICOUNT.1.8", cycles=cycles)
-            vals.append(r.ipc)
-        ipc[engine] = statistics.mean(vals)
-    base = ipc["gshare+BTB"]
-    print("| engine | paper speedup vs gshare+BTB | measured |")
-    print("|---|---|---|")
-    print(f"| gshare+BTB | — | IPC {base:.2f} |")
-    for engine, paper in SUPERSCALAR_CLAIMS.items():
-        print(f"| {engine} | {paper - 1:+.1%} | "
-              f"{ipc[engine] / base - 1:+.1%} |")
-    print()
-    print(f"_Total regeneration time: {time.time() - t0:.0f} s._")
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    sections, fig_ids = select(args.only)
+    session = ExperimentSession(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        cycles=args.cycles, warmup=args.warmup)
+
+    t0 = time.time()
+    # One up-front batch: every cell the selected sections will read,
+    # deduplicated and fanned out across the worker pool.  The section
+    # emitters below then run entirely against warm memoisation.
+    cells = enumerate_cells(session, sections, fig_ids)
+    if cells:
+        session.run_cells(cells)
+        print(f"[run_experiments] {session.summary()} "
+              f"({time.time() - t0:.0f} s, jobs={args.jobs})",
+              file=sys.stderr)
+
+    if args.fmt == "json":
+        emit_json(session, sections, fig_ids, args.cycles, t0)
+    else:
+        emit_markdown(session, sections, fig_ids, args.cycles, t0)
 
 
 if __name__ == "__main__":

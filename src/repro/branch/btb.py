@@ -61,3 +61,7 @@ class BTB:
     def misses(self) -> int:
         """Number of lookups that missed (stats)."""
         return self._table.misses
+
+    def reset_stats(self) -> None:
+        """Zero hit/miss counters; stored targets are untouched."""
+        self._table.reset_stats()

@@ -104,3 +104,8 @@ class SetAssocTable:
     def occupancy(self) -> int:
         """Total number of valid entries (for tests)."""
         return sum(len(entries) for entries in self._sets)
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters; stored entries are untouched."""
+        self.hits = 0
+        self.misses = 0

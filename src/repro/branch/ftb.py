@@ -80,3 +80,7 @@ class FTB:
     def misses(self) -> int:
         """Number of lookups that missed (stats)."""
         return self._table.misses
+
+    def reset_stats(self) -> None:
+        """Zero hit/miss counters; stored fetch blocks are untouched."""
+        self._table.reset_stats()

@@ -58,3 +58,9 @@ class GShare:
         hardware.
         """
         return self.correct / self.updates if self.updates else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero the accuracy counters; the trained table is untouched."""
+        self.lookups = 0
+        self.updates = 0
+        self.correct = 0

@@ -78,3 +78,9 @@ class GSkew:
     def accuracy(self) -> float:
         """Fraction of *resolved* predictions that were correct."""
         return self.correct / self.updates if self.updates else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero the accuracy counters; the trained banks are untouched."""
+        self.lookups = 0
+        self.updates = 0
+        self.correct = 0

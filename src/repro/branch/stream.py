@@ -140,6 +140,14 @@ class StreamPredictor:
             return entry
         return None
 
+    def reset_stats(self) -> None:
+        """Zero lookup/hit counters (both levels); entries untouched."""
+        self.lookups = 0
+        self.first_hits = 0
+        self.second_hits = 0
+        self._first.reset_stats()
+        self._second.reset_stats()
+
     def update(self, start: int, length: int, target: int,
                kind: BranchKind, history: DolcHistory,
                asid: int = 0) -> None:

@@ -9,7 +9,20 @@ and the warm-up protocol.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+
+
+def canonical_hash(data) -> str:
+    """SHA-256 of a canonical (sorted-key, compact) JSON rendering.
+
+    The one hashing scheme behind every content key in the repo:
+    :meth:`SimConfig.fingerprint` and the experiment cache's cell keys
+    both go through here, so they can never drift apart.
+    """
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -82,6 +95,34 @@ class SimConfig:
     def with_(self, **overrides) -> "SimConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)
+
+    def to_dict(self) -> dict:
+        """Every field as a plain (JSON-safe) mapping, in field order."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected (they would silently change the
+        machine being simulated); missing keys take the defaults.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SimConfig fields: {', '.join(sorted(unknown))}")
+        return cls(**data)
+
+    def fingerprint(self) -> str:
+        """Content hash of every configuration field.
+
+        Two configs with equal field values — regardless of object
+        identity or construction order — produce the same fingerprint,
+        making it safe as a persistent cache key component (unlike
+        ``id()``, which CPython reuses after garbage collection).
+        """
+        return canonical_hash(self.to_dict())
 
 
 DEFAULT_CONFIG = SimConfig()

@@ -8,7 +8,7 @@ miss rates at the end of the measured window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass(frozen=True)
@@ -68,3 +68,31 @@ class SimResult:
         if self.cycles == 0:
             return tuple(0.0 for _ in self.committed_by_thread)
         return tuple(c / self.cycles for c in self.committed_by_thread)
+
+    def to_dict(self) -> dict:
+        """JSON-safe mapping of every field.
+
+        ``delivered_at_least`` keys become strings (JSON objects cannot
+        key on ints) and tuples become lists; :meth:`from_dict` reverses
+        both, so a JSON round trip is lossless.
+        """
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["committed_by_thread"] = list(self.committed_by_thread)
+        data["delivered_at_least"] = {str(n): v for n, v
+                                      in self.delivered_at_least.items()}
+        data["engine_stats"] = dict(self.engine_stats)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict` (or parsed JSON) output."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SimResult fields: {', '.join(sorted(unknown))}")
+        data = dict(data)
+        data["committed_by_thread"] = tuple(data["committed_by_thread"])
+        data["delivered_at_least"] = {int(n): v for n, v
+                                      in data["delivered_at_least"].items()}
+        return cls(**data)

@@ -12,10 +12,10 @@ from repro.core.config import DEFAULT_CONFIG, SimConfig
 from repro.core.metrics import SimResult
 from repro.core.workloads import WORKLOADS
 from repro.frontend.engine import EngineKind, make_engine
-from repro.frontend.fetch_unit import FetchStats, FetchUnit
+from repro.frontend.fetch_unit import FetchUnit
 from repro.frontend.policy import PolicySpec
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.pipeline.core import CoreParams, CoreStats, SmtCore
+from repro.pipeline.core import CoreParams, SmtCore
 from repro.program.generator import program_for
 from repro.trace.context import ThreadContext
 
@@ -86,23 +86,17 @@ class Simulator:
         return self.result()
 
     def _reset_stats(self) -> None:
-        core = self.core
-        core.stats = CoreStats(
-            committed_by_thread=[0] * len(self.contexts))
-        unit = self.fetch_unit
-        unit.stats = FetchStats(max_width=len(unit.stats.delivered_histogram)
-                                - 1)
-        for cache in (self.memory.l1i, self.memory.l1d, self.memory.l2):
-            cache.hits = 0
-            cache.misses = 0
-        engine = self.engine
-        for attr in ("lookups", "updates", "correct", "first_hits",
-                     "second_hits"):
-            for obj in (getattr(engine, "gshare", None),
-                        getattr(engine, "gskew", None),
-                        getattr(engine, "predictor", None)):
-                if obj is not None and hasattr(obj, attr):
-                    setattr(obj, attr, 0)
+        """Zero every statistic at the warm-up/measurement boundary.
+
+        Each component owns a ``reset_stats()`` that clears its counters
+        while keeping trained state (cache lines, TLB translations,
+        predictor tables), so warm-up activity never leaks into measured
+        miss rates.
+        """
+        self.core.reset_stats()
+        self.fetch_unit.reset_stats()
+        self.memory.reset_stats()
+        self.engine.reset_stats()
 
     def result(self) -> SimResult:
         """Snapshot the current statistics into a :class:`SimResult`."""

@@ -7,6 +7,7 @@ the paper's claims so results can be checked for *shape* agreement
 (who wins, by roughly what factor) rather than absolute numbers.
 """
 
+from repro.experiments.cache import ResultCache, cell_key
 from repro.experiments.figures import FIGURES, FigureSpec
 from repro.experiments.paper_data import PAPER_CLAIMS, Claim
 from repro.experiments.runner import (
@@ -18,14 +19,19 @@ from repro.experiments.runner import (
     measure,
     run_figure,
 )
+from repro.experiments.session import Cell, ExperimentSession
 
 __all__ = [
+    "Cell",
     "Claim",
     "ClaimOutcome",
+    "ExperimentSession",
     "FIGURES",
     "FigureResult",
     "FigureSpec",
     "PAPER_CLAIMS",
+    "ResultCache",
+    "cell_key",
     "check_claims",
     "format_claims",
     "format_figure",

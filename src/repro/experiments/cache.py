@@ -1,0 +1,120 @@
+"""Persistent, content-addressed cache for simulation results.
+
+A grid cell is identified by a *content key*: the SHA-256 of a canonical
+JSON rendering of everything that determines its outcome — workload,
+engine, policy, measured cycles, warm-up cycles and every
+:class:`~repro.core.config.SimConfig` field (seed included).  Two cells
+with equal content hash to the same key regardless of object identity,
+so results survive process restarts and are shared between the figure
+runner, the claim checker, benchmarks and ad-hoc sweeps.
+
+On disk, each result is one JSON file under a two-character fan-out
+directory (``<cache_dir>/<key[:2]>/<key>.json``) holding the key, the
+cell description (for debuggability) and the serialized
+:class:`~repro.core.metrics.SimResult`.  Corrupted or unreadable files
+are treated as misses, never as fatal errors: the cell is simply
+re-simulated and the entry rewritten.  Writes are atomic
+(temp-file + ``os.replace``) so parallel workers and concurrent runs
+cannot tear each other's entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.core.config import SimConfig, canonical_hash
+from repro.core.metrics import SimResult
+
+CACHE_FORMAT_VERSION = 1
+"""Bumped whenever the simulator's observable behaviour changes
+incompatibly; old entries then miss instead of serving stale results."""
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+"""Default on-disk location, relative to the current working directory."""
+
+
+def cell_key(workload: str | tuple[str, ...], engine: str, policy: str,
+             cycles: int, warmup: int, config: SimConfig) -> str:
+    """Content hash identifying one grid cell.
+
+    ``warmup`` must already be resolved (the ``None`` default of
+    :func:`repro.experiments.session.ExperimentSession.measure` maps to
+    ``config.warmup_cycles`` before hashing), so the explicit and the
+    defaulted spelling of the same cell share a key.
+    """
+    return canonical_hash(cell_descriptor(workload, engine, policy,
+                                          cycles, warmup, config))
+
+
+def cell_descriptor(workload: str | tuple[str, ...], engine: str,
+                    policy: str, cycles: int, warmup: int,
+                    config: SimConfig) -> dict:
+    """The JSON-safe mapping that :func:`cell_key` hashes."""
+    return {
+        "version": CACHE_FORMAT_VERSION,
+        "workload": list(workload) if not isinstance(workload, str)
+        else workload,
+        "engine": engine,
+        "policy": policy,
+        "cycles": cycles,
+        "warmup": warmup,
+        "config": config.to_dict(),
+    }
+
+
+class ResultCache:
+    """On-disk result store addressed by :func:`cell_key`."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (fan-out by prefix)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> SimResult | None:
+        """Load a cached result; any corruption reads as a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload.get("key") != key:
+                raise ValueError("key mismatch (truncated or foreign file)")
+            result = SimResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, unreadable, truncated, hand-edited, or written by
+            # an incompatible version: re-simulate rather than crash.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult,
+            descriptor: dict | None = None) -> None:
+        """Store a result atomically (safe under parallel writers)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "cell": descriptor,
+                   "result": result.to_dict()}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))

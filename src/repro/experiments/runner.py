@@ -1,8 +1,16 @@
-"""Grid execution, caching, table formatting and claim checking.
+"""Grid execution, table formatting and claim checking.
 
-Simulations are memoised on ``(workload, engine, policy, cycles, seed)``
-for the lifetime of the process: the figures share most of their grid
-cells, and benchmarks would otherwise re-run them dozens of times.
+The module-level :func:`measure` / :func:`run_figure` /
+:func:`check_claims` keep their historical signatures but route through
+a process-wide :class:`~repro.experiments.session.ExperimentSession`:
+results are memoised on the *content* of the cell — workload, engine,
+policy, run windows and every ``SimConfig`` field — not on object
+identity.  (The previous scheme keyed on ``id(config)``, which CPython
+reuses after garbage collection: a stale hit could silently return
+results for a different machine configuration.)
+
+Construct an :class:`ExperimentSession` directly for parallel execution
+(``jobs=N``) or a persistent on-disk cache (``cache_dir=...``).
 """
 
 from __future__ import annotations
@@ -11,14 +19,13 @@ from dataclasses import dataclass, field
 
 from repro.core.config import SimConfig
 from repro.core.metrics import SimResult
-from repro.core.simulator import simulate
 from repro.experiments.figures import FigureSpec
 from repro.experiments.paper_data import Claim
+from repro.experiments.session import DEFAULT_CYCLES, ExperimentSession
 
-DEFAULT_CYCLES = 20_000
-"""Measured window for figure regeneration (per grid cell)."""
-
-_cache: dict[tuple, SimResult] = {}
+DEFAULT_SESSION = ExperimentSession()
+"""Process-wide session behind the module-level convenience functions
+(in-process memo only; no worker processes, no disk)."""
 
 
 def measure(workload: str, engine: str, policy: str,
@@ -26,15 +33,8 @@ def measure(workload: str, engine: str, policy: str,
             config: SimConfig | None = None,
             warmup: int | None = None) -> SimResult:
     """Run (or recall) one grid cell."""
-    seed = config.seed if config is not None else 0
-    key = (workload, engine, policy, cycles, seed, warmup,
-           id(config) if config is not None else None)
-    result = _cache.get(key)
-    if result is None:
-        result = simulate(workload, engine=engine, policy=policy,
-                          cycles=cycles, config=config, warmup=warmup)
-        _cache[key] = result
-    return result
+    return DEFAULT_SESSION.measure(workload, engine, policy, cycles,
+                                   config, warmup)
 
 
 @dataclass
@@ -60,16 +60,7 @@ def run_figure(spec: FigureSpec, cycles: int = DEFAULT_CYCLES,
                config: SimConfig | None = None,
                warmup: int | None = None) -> FigureResult:
     """Execute a figure's full measurement grid."""
-    out = FigureResult(spec, cycles)
-    for workload in spec.workloads:
-        for engine in spec.engines:
-            for policy in spec.policies:
-                result = measure(workload, engine, policy, cycles, config,
-                                 warmup)
-                metric = result.ipfc if spec.metric == "ipfc" else \
-                    result.ipc
-                out.values[(workload, engine, policy)] = metric
-    return out
+    return DEFAULT_SESSION.run_figure(spec, cycles, config, warmup)
 
 
 def format_figure(result: FigureResult) -> str:
@@ -117,21 +108,7 @@ def check_claims(claims: tuple[Claim, ...],
                  config: SimConfig | None = None,
                  warmup: int | None = None) -> list[ClaimOutcome]:
     """Measure the grid cells behind each claim and compute its ratio."""
-    outcomes = []
-    for claim in claims:
-        numer_vals = []
-        denom_vals = []
-        for workload in claim.workloads:
-            n = measure(workload, claim.numer[0], claim.numer[1], cycles,
-                        config, warmup)
-            d = measure(workload, claim.denom[0], claim.denom[1], cycles,
-                        config, warmup)
-            numer_vals.append(n.ipfc if claim.metric == "ipfc" else n.ipc)
-            denom_vals.append(d.ipfc if claim.metric == "ipfc" else d.ipc)
-        ratio = (sum(numer_vals) / len(numer_vals)) \
-            / (sum(denom_vals) / len(denom_vals))
-        outcomes.append(ClaimOutcome(claim, ratio))
-    return outcomes
+    return DEFAULT_SESSION.check_claims(claims, cycles, config, warmup)
 
 
 def format_claims(outcomes: list[ClaimOutcome]) -> str:

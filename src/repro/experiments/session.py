@@ -1,0 +1,273 @@
+"""Parallel, cached execution of experiment grids.
+
+The figures and claim checks of the paper share most of their
+(workload, engine, policy) grid cells.  :class:`ExperimentSession`
+exploits that structure:
+
+* **Enumeration** — every figure/claim expands to a set of
+  :class:`Cell` descriptors *before* anything runs, so the full grid is
+  deduplicated up front;
+* **Memoisation** — each cell is addressed by the content hash of
+  everything that determines its outcome (see
+  :mod:`repro.experiments.cache`), first in an in-process memo, then in
+  an optional persistent on-disk cache;
+* **Fan-out** — cache misses are simulated across worker processes via
+  :class:`concurrent.futures.ProcessPoolExecutor` (``jobs=1`` stays
+  fully in-process, which is what the test suite uses).
+
+Results are bit-identical to serial execution: each cell's simulation
+is deterministic given (seed, config), and workers share nothing.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.config import DEFAULT_CONFIG, SimConfig
+from repro.core.metrics import SimResult
+from repro.core.simulator import simulate
+from repro.experiments.cache import ResultCache, cell_descriptor, cell_key
+from repro.experiments.figures import FigureSpec
+from repro.experiments.paper_data import Claim
+
+DEFAULT_CYCLES = 20_000
+"""Measured window for figure regeneration (per grid cell)."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid cell, fully resolved (no ``None``, config included).
+
+    Carrying the config per cell (rather than per batch) means a single
+    :meth:`ExperimentSession.run_cells` call can mix machine
+    configurations — the shape of an ablation or width sweep — and a
+    cell can never be keyed or simulated under a different config than
+    the one it was built with.
+    """
+
+    workload: str | tuple[str, ...]
+    engine: str
+    policy: str
+    cycles: int
+    warmup: int
+    config: SimConfig
+
+
+def _execute_cell(cell: Cell) -> SimResult:
+    """Worker entry point: simulate one cell (picklable, top-level)."""
+    return simulate(cell.workload, engine=cell.engine, policy=cell.policy,
+                    cycles=cell.cycles, config=cell.config,
+                    warmup=cell.warmup)
+
+
+class ExperimentSession:
+    """Deduplicating, parallel, cache-backed experiment runner.
+
+    Args:
+        jobs: Worker processes for cache misses.  ``1`` (the default)
+            simulates inline in the calling process.
+        cache_dir: Directory for the persistent result cache; ``None``
+            keeps memoisation in-process only.
+        config: Default machine configuration for cells that do not
+            override it.
+        cycles / warmup: Default run windows (``warmup=None`` means the
+            config's ``warmup_cycles``).
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir=None,
+                 config: SimConfig | None = None,
+                 cycles: int = DEFAULT_CYCLES,
+                 warmup: int | None = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.config = config or DEFAULT_CONFIG
+        self.cycles = cycles
+        self.warmup = warmup
+        self.disk = ResultCache(cache_dir) if cache_dir is not None else None
+        self._memo: dict[str, SimResult] = {}
+        self.simulated = 0
+        self.memo_hits = 0
+
+    # ------------------------------------------------------------------
+    # cell resolution
+    # ------------------------------------------------------------------
+
+    def _resolve(self, cycles: int | None, warmup: int | None,
+                 config: SimConfig | None) \
+            -> tuple[int, int, SimConfig]:
+        config = config or self.config
+        cycles = self.cycles if cycles is None else cycles
+        if warmup is None:
+            warmup = self.warmup
+        if warmup is None:
+            warmup = config.warmup_cycles
+        return cycles, warmup, config
+
+    def make_cell(self, workload, engine: str, policy: str,
+                  cycles: int | None = None,
+                  warmup: int | None = None,
+                  config: SimConfig | None = None) -> Cell:
+        """Build a fully-resolved cell descriptor."""
+        cycles, warmup, config = self._resolve(cycles, warmup, config)
+        if not isinstance(workload, str):
+            workload = tuple(workload)
+        return Cell(workload, engine, policy, cycles, warmup, config)
+
+    def key_for(self, cell: Cell) -> str:
+        """Content-hash cache key of ``cell``."""
+        return cell_key(cell.workload, cell.engine, cell.policy,
+                        cell.cycles, cell.warmup, cell.config)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run_cells(self, cells) -> dict[Cell, SimResult]:
+        """Execute (or recall) a batch of cells; misses run in parallel.
+
+        Cells are deduplicated by content key first, so overlapping
+        figures cost one simulation per distinct cell.  Cells may mix
+        machine configurations: each runs under its own ``config``.
+        """
+        cells = list(cells)
+        by_key: dict[str, Cell] = {}
+        for cell in cells:
+            by_key.setdefault(self.key_for(cell), cell)
+
+        results: dict[str, SimResult] = {}
+        misses: list[str] = []
+        for key, cell in by_key.items():
+            cached = self._lookup(key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                misses.append(key)
+
+        if misses:
+            miss_cells = [by_key[key] for key in misses]
+            if self.jobs > 1 and len(misses) > 1:
+                workers = min(self.jobs, len(misses))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    simulated = list(pool.map(_execute_cell, miss_cells))
+            else:
+                simulated = [_execute_cell(c) for c in miss_cells]
+            self.simulated += len(misses)
+            for key, result in zip(misses, simulated):
+                self._store(key, by_key[key], result)
+                results[key] = result
+
+        return {cell: results[self.key_for(cell)] for cell in cells}
+
+    def measure(self, workload, engine: str, policy: str,
+                cycles: int | None = None,
+                config: SimConfig | None = None,
+                warmup: int | None = None) -> SimResult:
+        """Run (or recall) one grid cell."""
+        cell = self.make_cell(workload, engine, policy, cycles, warmup,
+                              config)
+        return self.run_cells([cell])[cell]
+
+    def _lookup(self, key: str) -> SimResult | None:
+        result = self._memo.get(key)
+        if result is not None:
+            self.memo_hits += 1
+            return result
+        if self.disk is not None:
+            result = self.disk.get(key)
+            if result is not None:
+                self._memo[key] = result
+        return result
+
+    def _store(self, key: str, cell: Cell, result: SimResult) -> None:
+        self._memo[key] = result
+        if self.disk is not None:
+            self.disk.put(key, result,
+                          cell_descriptor(cell.workload, cell.engine,
+                                          cell.policy, cell.cycles,
+                                          cell.warmup, cell.config))
+
+    # ------------------------------------------------------------------
+    # figure / claim grids
+    # ------------------------------------------------------------------
+
+    def cells_for_figure(self, spec: FigureSpec,
+                         cycles: int | None = None,
+                         warmup: int | None = None,
+                         config: SimConfig | None = None) -> list[Cell]:
+        """Every cell of a figure's measurement grid, plotting order."""
+        return [self.make_cell(w, e, p, cycles, warmup, config)
+                for w in spec.workloads
+                for e in spec.engines
+                for p in spec.policies]
+
+    def cells_for_claims(self, claims, cycles: int | None = None,
+                         warmup: int | None = None,
+                         config: SimConfig | None = None) -> list[Cell]:
+        """Every numerator/denominator cell behind a set of claims."""
+        cells = []
+        for claim in claims:
+            for workload in claim.workloads:
+                for engine, policy in (claim.numer, claim.denom):
+                    cells.append(self.make_cell(workload, engine, policy,
+                                                cycles, warmup, config))
+        return cells
+
+    def run_figure(self, spec: FigureSpec, cycles: int | None = None,
+                   config: SimConfig | None = None,
+                   warmup: int | None = None):
+        """Execute a figure's full grid; returns a ``FigureResult``."""
+        from repro.experiments.runner import FigureResult
+        resolved_cycles, _, config = self._resolve(cycles, warmup, config)
+        cells = self.cells_for_figure(spec, cycles, warmup, config)
+        results = self.run_cells(cells)
+        out = FigureResult(spec, resolved_cycles)
+        for cell, result in results.items():
+            metric = result.ipfc if spec.metric == "ipfc" else result.ipc
+            out.values[(cell.workload, cell.engine, cell.policy)] = metric
+        return out
+
+    def check_claims(self, claims: tuple[Claim, ...],
+                     cycles: int | None = None,
+                     config: SimConfig | None = None,
+                     warmup: int | None = None):
+        """Measure all claims' cells (one batch) and compute ratios."""
+        from repro.experiments.runner import ClaimOutcome
+        self.run_cells(self.cells_for_claims(claims, cycles, warmup,
+                                             config))
+        outcomes = []
+        for claim in claims:
+            numer_vals = []
+            denom_vals = []
+            for workload in claim.workloads:
+                n = self.measure(workload, claim.numer[0], claim.numer[1],
+                                 cycles, config, warmup)
+                d = self.measure(workload, claim.denom[0], claim.denom[1],
+                                 cycles, config, warmup)
+                numer_vals.append(n.ipfc if claim.metric == "ipfc"
+                                  else n.ipc)
+                denom_vals.append(d.ipfc if claim.metric == "ipfc"
+                                  else d.ipc)
+            ratio = (sum(numer_vals) / len(numer_vals)) \
+                / (sum(denom_vals) / len(denom_vals))
+            outcomes.append(ClaimOutcome(claim, ratio))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def disk_hits(self) -> int:
+        """Results served from the persistent cache."""
+        return self.disk.hits if self.disk is not None else 0
+
+    def summary(self) -> str:
+        """One-line execution accounting (for CLI footers and logs)."""
+        parts = [f"{self.simulated} cell(s) simulated",
+                 f"{self.memo_hits} memo hit(s)"]
+        if self.disk is not None:
+            parts.append(f"{self.disk.hits} disk hit(s) "
+                         f"[{self.disk.root}]")
+        return ", ".join(parts)

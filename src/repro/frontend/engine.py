@@ -58,6 +58,14 @@ class FetchEngine:
         """Engine-specific statistics (prediction accuracy, hit rates)."""
         raise NotImplementedError
 
+    def reset_stats(self) -> None:
+        """Zero every statistic counter, keeping trained predictor state.
+
+        Called at the warm-up/measurement boundary so that warm-up
+        activity never leaks into measured results.
+        """
+        raise NotImplementedError
+
 
 def make_engine(kind: EngineKind | str, n_threads: int,
                 config=None) -> FetchEngine:

@@ -90,6 +90,11 @@ class FetchUnit:
         self.stats = FetchStats(max_width=max(self.spec.width,
                                               self.line_instrs))
 
+    def reset_stats(self) -> None:
+        """Fresh fetch counters; FTQ/buffer/PC state is untouched."""
+        self.stats = FetchStats(
+            max_width=len(self.stats.delivered_histogram) - 1)
+
     # ------------------------------------------------------------------
     # prediction stage
     # ------------------------------------------------------------------

@@ -116,3 +116,8 @@ class GShareBtbEngine(FetchEngine):
             "direction_accuracy": self.gshare.accuracy,
             "btb_hit_rate": self.btb.hits / probes if probes else 0.0,
         }
+
+    def reset_stats(self) -> None:
+        """Zero gshare and BTB counters; trained state is kept."""
+        self.gshare.reset_stats()
+        self.btb.reset_stats()

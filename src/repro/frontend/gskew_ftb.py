@@ -112,3 +112,8 @@ class GSkewFtbEngine(FetchEngine):
             "direction_accuracy": self.gskew.accuracy,
             "ftb_hit_rate": self.ftb.hits / probes if probes else 0.0,
         }
+
+    def reset_stats(self) -> None:
+        """Zero gskew and FTB counters; trained state is kept."""
+        self.gskew.reset_stats()
+        self.ftb.reset_stats()

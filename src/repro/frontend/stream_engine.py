@@ -138,3 +138,7 @@ class StreamFetchEngine(FetchEngine):
                                 + self.predictor.second_hits) / lookups,
             "stream_l2_share": self.predictor.second_hits / lookups,
         }
+
+    def reset_stats(self) -> None:
+        """Zero stream-table counters; trained streams are kept."""
+        self.predictor.reset_stats()

@@ -104,3 +104,8 @@ class Cache:
     def miss_rate(self) -> float:
         """Miss fraction over all probes."""
         return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero hit/miss counters; line state (LRU, contents) untouched."""
+        self.hits = 0
+        self.misses = 0

@@ -162,6 +162,17 @@ class MemoryHierarchy:
             if budget <= 0 and pages_left <= 0:
                 break
 
+    def reset_stats(self) -> None:
+        """Zero every counter in the hierarchy (caches, TLBs, MSHRs).
+
+        Cache/TLB contents and in-flight misses are untouched: this is
+        the warm-up boundary, where training is kept and statistics are
+        discarded.
+        """
+        for component in (self.l1i, self.l1d, self.l2, self.itlb,
+                          self.dtlb, self.dmshr):
+            component.reset_stats()
+
     def _miss_to_l2(self, addr: int, asid: int) -> int:
         """Latency of an L1 miss serviced by L2 or memory; fills L2."""
         if self.l2.probe(addr, asid):

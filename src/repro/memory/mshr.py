@@ -53,3 +53,8 @@ class MshrFile:
         """Number of in-flight misses as of ``cycle``."""
         self._prune(cycle)
         return len(self._entries)
+
+    def reset_stats(self) -> None:
+        """Zero coalesce/rejection counters; in-flight misses untouched."""
+        self.coalesced = 0
+        self.rejections = 0

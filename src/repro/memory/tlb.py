@@ -45,3 +45,8 @@ class Tlb:
             oldest = next(iter(self._order))
             del self._order[oldest]
         return self.miss_penalty
+
+    def reset_stats(self) -> None:
+        """Zero hit/miss counters; translations stay resident."""
+        self.hits = 0
+        self.misses = 0

@@ -115,6 +115,11 @@ class SmtCore:
         self._last_commit_cycle = 0
         self.stats = CoreStats(committed_by_thread=[0] * n)
 
+    def reset_stats(self) -> None:
+        """Fresh back-end counters; pipeline state is untouched."""
+        self.stats = CoreStats(
+            committed_by_thread=[0] * len(self.contexts))
+
     # ------------------------------------------------------------------
     # driver
     # ------------------------------------------------------------------

@@ -1,0 +1,101 @@
+"""Warm-up statistic isolation: reset must cover every component.
+
+The historical ``Simulator._reset_stats`` cleared only L1/L2 and the
+direction predictors' attribute bags, so ITLB/DTLB counters, BTB/FTB
+table counters, stream-table counters and MSHR counters leaked warm-up
+activity into measured results.  These tests pin the fix: every
+component exposes ``reset_stats()`` and the simulator calls them
+uniformly.
+"""
+
+import pytest
+
+from repro.core.simulator import Simulator
+
+ENGINES = ("gshare+BTB", "gskew+FTB", "stream")
+WARMUP = 600
+MEASURE = 600
+
+
+def stat_counters(sim: Simulator) -> dict[str, int]:
+    """Every cumulative event counter the simulator owns, flattened."""
+    mem = sim.memory
+    counters = {
+        "l1i.hits": mem.l1i.hits, "l1i.misses": mem.l1i.misses,
+        "l1d.hits": mem.l1d.hits, "l1d.misses": mem.l1d.misses,
+        "l2.hits": mem.l2.hits, "l2.misses": mem.l2.misses,
+        "itlb.hits": mem.itlb.hits, "itlb.misses": mem.itlb.misses,
+        "dtlb.hits": mem.dtlb.hits, "dtlb.misses": mem.dtlb.misses,
+        "dmshr.coalesced": mem.dmshr.coalesced,
+        "dmshr.rejections": mem.dmshr.rejections,
+        "fetch.cycles": sim.fetch_unit.stats.fetch_cycles,
+        "fetch.instructions": sim.fetch_unit.stats.fetched_instructions,
+        "core.cycles": sim.core.stats.cycles,
+        "core.committed": sim.core.stats.committed,
+    }
+    engine = sim.engine
+    if hasattr(engine, "gshare"):
+        counters.update({"gshare.lookups": engine.gshare.lookups,
+                         "gshare.updates": engine.gshare.updates,
+                         "btb.hits": engine.btb.hits,
+                         "btb.misses": engine.btb.misses})
+    if hasattr(engine, "gskew"):
+        counters.update({"gskew.lookups": engine.gskew.lookups,
+                         "gskew.updates": engine.gskew.updates,
+                         "ftb.hits": engine.ftb.hits,
+                         "ftb.misses": engine.ftb.misses})
+    if hasattr(engine, "predictor"):
+        counters.update({
+            "stream.lookups": engine.predictor.lookups,
+            "stream.first_hits": engine.predictor.first_hits,
+            "stream.second_hits": engine.predictor.second_hits})
+    return counters
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_reset_zeroes_every_counter(engine):
+    sim = Simulator(("gzip", "twolf"), engine=engine)
+    sim.core.run(WARMUP)
+    before = stat_counters(sim)
+    assert any(v > 0 for v in before.values()), \
+        "warm-up produced no activity; test is vacuous"
+    sim._reset_stats()
+    after = stat_counters(sim)
+    leaked = {name: v for name, v in after.items() if v != 0}
+    assert not leaked, f"counters survive reset: {leaked}"
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_measured_window_excludes_warmup_activity(engine):
+    """``run(cycles, warmup)`` counters equal a manual warm/measure delta.
+
+    The leak this guards against: with an incomplete reset, counters
+    accumulated during warm-up stay in the totals, so the simulator's
+    post-run counters exceed the measured-window delta.
+    """
+    measured = Simulator(("gzip", "twolf"), engine=engine)
+    measured.run(MEASURE, warmup=WARMUP)
+
+    manual = Simulator(("gzip", "twolf"), engine=engine)
+    manual.core.run(WARMUP)
+    at_boundary = stat_counters(manual)
+    manual.core.run(MEASURE)
+    at_end = stat_counters(manual)
+    delta = {name: at_end[name] - at_boundary[name] for name in at_end}
+
+    assert stat_counters(measured) == delta
+
+
+def test_back_to_back_runs_are_deterministic():
+    """Two identical fresh simulators report identical miss rates."""
+    results = []
+    for _ in range(2):
+        sim = Simulator(("gzip", "twolf"), engine="gshare+BTB")
+        result = sim.run(MEASURE, warmup=WARMUP)
+        mem = sim.memory
+        results.append((result, stat_counters(sim),
+                        mem.itlb.misses / (mem.itlb.hits
+                                           + mem.itlb.misses),
+                        mem.dtlb.misses / (mem.dtlb.hits
+                                           + mem.dtlb.misses)))
+    assert results[0] == results[1]
