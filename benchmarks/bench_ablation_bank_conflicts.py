@@ -4,32 +4,47 @@ The paper's complexity argument for 2.X includes bank-conflict logic.
 This ablation sweeps the bank count: with fewer banks, simultaneous
 two-thread fetch loses slots to conflicts; with one thread (1.X) the
 bank count is irrelevant — exactly why 1.X hardware is simpler.
+
+The grid is the shipped ``bank_conflicts`` sweep preset
+(``repro.sweeps.PRESETS``) — ``scripts/run_sweep.py --preset
+bank_conflicts`` runs the same study with multi-seed statistics.
 """
 
 from conftest import BENCH_CYCLES, BENCH_WARMUP, TIMED_CYCLES, TIMED_WARMUP
 
 from repro.core import SimConfig, simulate
+from repro.sweeps import PRESETS
+
+_SPEC = PRESETS["bank_conflicts"]
+_AXES = _SPEC.axis_values()
+WORKLOAD = _AXES["workload"][0]
+ENGINE = _AXES["engine"][0]
+BANKS = _AXES["cache_banks"]
+POLICIES = _AXES["policy"]
+ONE_X = next(p for p in POLICIES if p.split(".")[1] == "1")
+TWO_X = next(p for p in POLICIES if p.split(".")[1] == "2")
 
 
 def bench_ablation_bank_conflicts(benchmark):
     print()
     print(f"{'banks':>5s} {'policy':12s} {'conflicts':>10s} {'ipfc':>6s}")
     conflicts = {}
-    for banks in (1, 2, 8):
-        for policy in ("ICOUNT.1.8", "ICOUNT.2.8"):
+    for banks in BANKS:
+        for policy in POLICIES:
             cfg = SimConfig(cache_banks=banks)
-            result = simulate("4_ILP", engine="gshare+BTB", policy=policy,
+            result = simulate(WORKLOAD, engine=ENGINE, policy=policy,
                               cycles=BENCH_CYCLES, warmup=BENCH_WARMUP,
                               config=cfg)
             conflicts[(banks, policy)] = result.bank_conflicts
             print(f"{banks:5d} {policy:12s} {result.bank_conflicts:10d} "
                   f"{result.ipfc:6.2f}")
     # 1.X never conflicts; 2.X conflicts grow as banks shrink.
-    assert all(conflicts[(b, "ICOUNT.1.8")] == 0 for b in (1, 2, 8))
-    assert conflicts[(1, "ICOUNT.2.8")] >= conflicts[(8, "ICOUNT.2.8")]
-    assert conflicts[(1, "ICOUNT.2.8")] > 0
+    assert all(conflicts[(b, ONE_X)] == 0 for b in BANKS)
+    assert conflicts[(min(BANKS), TWO_X)] \
+        >= conflicts[(max(BANKS), TWO_X)]
+    assert conflicts[(min(BANKS), TWO_X)] > 0
 
-    benchmark(lambda: simulate("4_ILP", engine="gshare+BTB",
-                               policy="ICOUNT.2.8", cycles=TIMED_CYCLES,
+    benchmark(lambda: simulate(WORKLOAD, engine=ENGINE,
+                               policy=TWO_X, cycles=TIMED_CYCLES,
                                warmup=TIMED_WARMUP,
-                               config=SimConfig(cache_banks=1)))
+                               config=SimConfig(cache_banks=min(BANKS))))

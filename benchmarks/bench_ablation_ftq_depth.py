@@ -4,29 +4,40 @@ The paper adopts 4-entry per-thread FTQs from the decoupled front-end
 literature.  This ablation shows the decoupling benefit saturating with
 depth: a 1-entry FTQ couples prediction to fetch; deeper queues let the
 predictor run ahead across I-cache misses.
+
+The grid is the shipped ``ftq_depth`` sweep preset
+(``repro.sweeps.PRESETS``) — ``scripts/run_sweep.py --preset
+ftq_depth`` runs the same study with multi-seed statistics.
 """
 
 from conftest import BENCH_CYCLES, BENCH_WARMUP, TIMED_CYCLES, TIMED_WARMUP
 
 from repro.core import SimConfig, simulate
+from repro.sweeps import PRESETS
+
+_SPEC = PRESETS["ftq_depth"]
+_AXES = _SPEC.axis_values()
+WORKLOAD = _AXES["workload"][0]
+ENGINE = _AXES["engine"][0]
+POLICY = _AXES["policy"][0]
+DEPTHS = _AXES["ftq_depth"]
 
 
 def bench_ablation_ftq_depth(benchmark):
     print()
     print(f"{'ftq_depth':>9s} {'ipfc':>6s} {'ipc':>6s}")
     ipc_by_depth = {}
-    for depth in (1, 2, 4, 8):
+    for depth in DEPTHS:
         cfg = SimConfig(ftq_depth=depth)
-        result = simulate("2_MIX", engine="stream", policy="ICOUNT.1.16",
+        result = simulate(WORKLOAD, engine=ENGINE, policy=POLICY,
                           cycles=BENCH_CYCLES, warmup=BENCH_WARMUP,
                           config=cfg)
         ipc_by_depth[depth] = result.ipc
         print(f"{depth:9d} {result.ipfc:6.2f} {result.ipc:6.2f}")
-    # Decoupling must not hurt; Table 3's depth of 4 should be at least
-    # as good as a single-entry queue.
-    assert ipc_by_depth[4] >= ipc_by_depth[1] * 0.95
+    # Decoupling must not hurt: the deepest swept queue should be at
+    # least as good as the shallowest.
+    assert ipc_by_depth[max(DEPTHS)] >= ipc_by_depth[min(DEPTHS)] * 0.95
 
-    benchmark(lambda: simulate("2_MIX", engine="stream",
-                               policy="ICOUNT.1.16", cycles=TIMED_CYCLES,
-                               warmup=TIMED_WARMUP,
-                               config=SimConfig(ftq_depth=1)))
+    benchmark(lambda: simulate(WORKLOAD, engine=ENGINE, policy=POLICY,
+                               cycles=TIMED_CYCLES, warmup=TIMED_WARMUP,
+                               config=SimConfig(ftq_depth=min(DEPTHS))))

@@ -2,9 +2,12 @@
 """Fetch-policy study: the paper's design space on one workload.
 
 Sweeps every combination of fetch engine and ICOUNT policy on a chosen
-workload and prints the fetch/commit matrix — the slice of Figures 5-8
-for that workload.  The paper's argument is visible directly: for ILP
-workloads the wide rows win; for MIX/MEM the 2.X columns lose commit
+workload — the slice of Figures 5-8 for that workload — through the
+declarative sweeps subsystem: the grid is one :class:`SweepSpec`, cells
+run deduplicated through an :class:`ExperimentSession`, and the report
+arrives with speedup-vs-baseline and per-axis sensitivity already
+computed.  The paper's argument is visible directly: for ILP workloads
+the wide policies win; for MIX/MEM the 2.X columns lose commit
 throughput despite fetching more.
 
 Usage::
@@ -16,7 +19,8 @@ with workload one of the Table 2 names (default ``4_ILP``).
 
 import sys
 
-from repro.core import WORKLOADS, simulate
+from repro.experiments import ExperimentSession
+from repro.sweeps import SweepSpec, format_markdown, run_sweep
 
 ENGINES = ("gshare+BTB", "gskew+FTB", "stream")
 POLICIES = ("ICOUNT.1.8", "ICOUNT.2.8", "ICOUNT.1.16", "ICOUNT.2.16")
@@ -25,27 +29,30 @@ POLICIES = ("ICOUNT.1.8", "ICOUNT.2.8", "ICOUNT.1.16", "ICOUNT.2.16")
 def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "4_ILP"
     cycles = int(sys.argv[2]) if len(sys.argv) > 2 else 15_000
-    if workload not in WORKLOADS:
-        raise SystemExit(f"unknown workload {workload!r}; choose from "
-                         f"{', '.join(sorted(WORKLOADS))}")
 
-    print(f"workload {workload} = {' + '.join(WORKLOADS[workload])}, "
-          f"{cycles} measured cycles\n")
-    header = f"{'engine':12s}" + "".join(f"{p:>14s}" for p in POLICIES)
-    for metric in ("ipfc", "ipc"):
-        print({"ipfc": "FETCH throughput (IPFC)",
-               "ipc": "COMMIT throughput (IPC)"}[metric])
-        print(header)
-        print("-" * len(header))
-        for engine in ENGINES:
-            cells = []
-            for policy in POLICIES:
-                result = simulate(workload, engine=engine, policy=policy,
-                                  cycles=cycles)
-                cells.append(getattr(result, metric))
-            print(f"{engine:12s}"
-                  + "".join(f"{v:14.2f}" for v in cells))
-        print()
+    try:
+        spec = SweepSpec.of(
+            "fetch_policy_study",
+            {
+                "engine": ENGINES,
+                "policy": POLICIES,
+                "workload": (workload,),
+            },
+            cycles=cycles,
+            baseline={"engine": "gshare+BTB", "policy": "ICOUNT.1.8"},
+            metric="ipc",
+            description=f"Engine x policy grid on {workload}: commit "
+                        "throughput (IPC) with fetch throughput (IPFC) "
+                        "alongside.")
+    except KeyError as exc:
+        # Unknown workload: surface the known-names hint, not a
+        # traceback.
+        raise SystemExit(exc.args[0]) from None
+
+    session = ExperimentSession(cycles=cycles)
+    result = run_sweep(spec, session)
+    print(format_markdown(result))
+    print(f"_{session.summary()}_")
 
 
 if __name__ == "__main__":

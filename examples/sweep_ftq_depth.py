@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""FTQ-depth sensitivity with multi-seed error bars.
+
+Runs the shipped ``ftq_depth`` preset — the value of decoupling the
+front end, as a sweep over the fetch target queue depth — replicated
+over several program-generation seeds, so each depth reports a mean
+IPC with a 95% confidence interval rather than a single noisy number.
+
+Demonstrates the three moves of the sweeps API:
+
+1. take a preset (``PRESETS["ftq_depth"]``) and derive a variant
+   (``with_seeds``) instead of writing a bespoke loop;
+2. execute through an :class:`ExperimentSession` (swap in
+   ``jobs=N, cache_dir=...`` for parallel, persistent campaigns);
+3. render the aggregated report (``format_markdown``).
+
+Usage::
+
+    python examples/sweep_ftq_depth.py [cycles] [seeds]
+"""
+
+import sys
+
+from repro.experiments import ExperimentSession
+from repro.sweeps import PRESETS, format_markdown, run_sweep
+
+
+def main() -> None:
+    cycles = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+    seeds = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+
+    spec = PRESETS["ftq_depth"].with_seeds(seeds)
+    session = ExperimentSession(cycles=cycles)
+    result = run_sweep(spec, session)
+    print(format_markdown(result))
+    print(f"_{session.summary()}_")
+
+
+if __name__ == "__main__":
+    main()

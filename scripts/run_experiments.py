@@ -68,6 +68,10 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent cache (in-process "
                              "memoisation only)")
+    parser.add_argument("--prune-cache", type=int, default=None,
+                        metavar="MAX_ENTRIES",
+                        help="after the run, evict the oldest cache "
+                             "entries beyond this budget")
     parser.add_argument("--only", default=None,
                         help="comma-separated subset to regenerate: "
                              "figure ids (fig2,fig5a,...) and/or section "
@@ -77,6 +81,8 @@ def parse_args(argv=None) -> argparse.Namespace:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.prune_cache is not None and args.no_cache:
+        parser.error("--prune-cache is meaningless with --no-cache")
     if args.cycles is None:
         args.cycles = args.legacy_cycles if args.legacy_cycles is not None \
             else 20_000
@@ -306,6 +312,13 @@ def main(argv=None) -> None:
         emit_json(session, sections, fig_ids, args.cycles, t0)
     else:
         emit_markdown(session, sections, fig_ids, args.cycles, t0)
+
+    if args.prune_cache is not None and session.disk is not None:
+        removed = session.disk.prune(max_entries=args.prune_cache)
+        stats = session.disk.stats()
+        print(f"[run_experiments] cache pruned: {removed} entry(ies) "
+              f"evicted, {stats['entries']} kept "
+              f"({stats['bytes']} bytes)", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -9,8 +9,9 @@ needs: synthetic SPECint2000 workloads (:mod:`repro.program`), the
 architectural walker (:mod:`repro.trace`), branch predictors
 (:mod:`repro.branch`), the cache hierarchy (:mod:`repro.memory`), the
 decoupled front-end (:mod:`repro.frontend`), the out-of-order core
-(:mod:`repro.pipeline`) and the experiment harness
-(:mod:`repro.experiments`).
+(:mod:`repro.pipeline`), the experiment harness
+(:mod:`repro.experiments`) and the declarative design-space sweep
+subsystem (:mod:`repro.sweeps`).
 
 Typical use::
 

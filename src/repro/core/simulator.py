@@ -58,7 +58,8 @@ class Simulator:
                 tlb_budget_pages=max(cfg.dtlb_entries
                                      // max(len(self.contexts), 1), 8))
 
-        self.spec = PolicySpec.parse(policy)
+        self.spec = PolicySpec.parse(policy) \
+            .for_threads(len(self.contexts))
         self.engine = make_engine(engine, len(self.contexts), cfg)
         self.fetch_unit = FetchUnit(
             self.engine, self.spec, self.spec.make(len(self.contexts)),

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from repro.core.config import SimConfig, canonical_hash
@@ -118,3 +119,69 @@ class ResultCache:
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("??/*.json"))
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """(mtime, size, path) of every entry, oldest first."""
+        entries = []
+        for path in self.root.glob("??/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue                # deleted by a concurrent pruner
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        return entries
+
+    def stats(self) -> dict:
+        """Size accounting for long-running sweep campaigns.
+
+        Returns ``entries`` (count), ``bytes`` (payload total) and the
+        ``oldest``/``newest`` entry modification times (Unix seconds;
+        ``None`` when the cache is empty).
+        """
+        entries = self._entries()
+        return {
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+            "oldest": entries[0][0] if entries else None,
+            "newest": entries[-1][0] if entries else None,
+        }
+
+    def prune(self, max_entries: int | None = None,
+              max_age: float | None = None) -> int:
+        """Evict entries so the cache stays bounded; returns evictions.
+
+        ``max_age`` (seconds) drops entries older than that; then
+        ``max_entries`` drops the oldest entries beyond the budget
+        (LRU-by-mtime — ``put`` refreshes mtime, reads do not).  Racing
+        pruners and writers are safe: a vanished file is skipped, and a
+        pruned entry simply re-simulates on next use.
+        """
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        if max_age is not None and max_age < 0:
+            raise ValueError(f"max_age must be >= 0, got {max_age}")
+        entries = self._entries()
+        victims: list[Path] = []
+        if max_age is not None:
+            cutoff = time.time() - max_age
+            victims += [p for mtime, _, p in entries if mtime < cutoff]
+            entries = [e for e in entries if e[0] >= cutoff]
+        if max_entries is not None and len(entries) > max_entries:
+            excess = len(entries) - max_entries
+            victims += [p for _, _, p in entries[:excess]]
+        removed = 0
+        for path in victims:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        # Empty fan-out directories are left in place deliberately:
+        # rmdir would race a concurrent put() between its mkdir and its
+        # mkstemp, and 256 empty two-character directories cost nothing.
+        return removed

@@ -9,7 +9,8 @@ machine; ``RR`` rotates priority blindly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,25 @@ class PolicySpec:
 
     def __str__(self) -> str:
         return f"{self.name}.{self.threads_per_cycle}.{self.width}"
+
+    def for_threads(self, n_threads: int) -> "PolicySpec":
+        """Normalise the spec for a machine with ``n_threads`` contexts.
+
+        A spec requesting more simultaneous threads than the workload
+        has (e.g. ``ICOUNT.2.8`` on a single-thread run) is clamped to
+        ``n_threads`` with a warning rather than silently simulating
+        bank-conflict arbitration that no real fetch could exercise.
+        """
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+        if self.threads_per_cycle <= n_threads:
+            return self
+        clamped = replace(self, threads_per_cycle=n_threads)
+        warnings.warn(
+            f"policy {self} requests {self.threads_per_cycle} threads "
+            f"per cycle but the workload has only {n_threads}; "
+            f"clamping to {clamped}", stacklevel=2)
+        return clamped
 
     def make(self, n_threads: int) -> "FetchPolicy":
         """Instantiate the policy object for ``n_threads`` contexts."""

@@ -1,0 +1,61 @@
+"""Declarative design-space exploration on top of the experiment layer.
+
+The paper's argument *is* a design-space comparison — fetch policies,
+widths, FTQ depths, predictor engines across workload behaviours.  This
+package turns such studies into one-line specifications:
+
+>>> from repro.experiments import ExperimentSession
+>>> from repro.sweeps import PRESETS, format_markdown, run_sweep
+>>> session = ExperimentSession(jobs=4, cache_dir=".repro-cache")
+>>> result = run_sweep(PRESETS["ftq_depth"].with_seeds(3), session)
+>>> print(format_markdown(result))                  # doctest: +SKIP
+
+A :class:`SweepSpec` names axes (workloads, engines, policies, any
+``SimConfig`` field, and ``seed`` for replication); :func:`run_sweep`
+expands the cross product, executes it through the content-addressed
+parallel session, aggregates replicates into mean/stdev/95% CI, and
+derives speedup-vs-baseline and per-axis sensitivity.  Reports render
+deterministically as Markdown, CSV or JSON (:mod:`repro.sweeps.report`).
+"""
+
+from repro.sweeps.presets import PRESETS
+from repro.sweeps.report import (
+    FORMATTERS,
+    format_csv,
+    format_json,
+    format_markdown,
+)
+from repro.sweeps.run import PointResult, SweepResult, run_sweep
+from repro.sweeps.spec import (
+    CONFIG_AXES,
+    KNOWN_AXES,
+    METRICS,
+    RESERVED_AXES,
+    SweepSpec,
+    axis_label,
+    coerce_axis_value,
+    validate_axis,
+)
+from repro.sweeps.stats import Stats, summarize, t_critical
+
+__all__ = [
+    "CONFIG_AXES",
+    "FORMATTERS",
+    "KNOWN_AXES",
+    "METRICS",
+    "PRESETS",
+    "PointResult",
+    "RESERVED_AXES",
+    "Stats",
+    "SweepResult",
+    "SweepSpec",
+    "axis_label",
+    "coerce_axis_value",
+    "format_csv",
+    "format_json",
+    "format_markdown",
+    "run_sweep",
+    "summarize",
+    "t_critical",
+    "validate_axis",
+]

@@ -1,0 +1,131 @@
+"""Sweep reports: Markdown, CSV and JSON renderings.
+
+All three formats are *deterministic* functions of the
+:class:`~repro.sweeps.run.SweepResult` — no timestamps, durations or
+hostnames — so a warm-cache re-run regenerates byte-identical reports
+(execution accounting belongs on stderr, where the CLIs put it).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.sweeps.run import SweepResult
+from repro.sweeps.spec import METRICS, axis_label
+
+
+def _axes(result: SweepResult) -> list[str]:
+    """Design axes in declaration order (``seed`` is aggregated away)."""
+    return [axis for axis, _ in result.spec.axes if axis != "seed"]
+
+
+def format_markdown(result: SweepResult) -> str:
+    """Markdown document: header, per-point table, sensitivity ranking."""
+    spec = result.spec
+    metric = spec.metric
+    axes = _axes(result)
+    lines = [f"# Sweep `{spec.name}`", ""]
+    if spec.description:
+        lines += [spec.description, ""]
+    lines += [f"Primary metric: **{metric.upper()}** · "
+              f"{result.cycles} measured cycles / {result.warmup} "
+              f"warm-up cycles per cell."]
+    if result.fixed:
+        lines += ["Fixed (unswept): "
+                  + " · ".join(f"{axis}={value}" for axis, value
+                               in result.fixed.items()) + "."]
+    seeds = dict(spec.axes).get("seed")
+    if seeds:
+        lines += [f"Replicated over {len(seeds)} seed(s); cells report "
+                  "mean ± 95% CI (Student t)."]
+    lines += ["", "| " + " | ".join(axes)
+              + f" | n | mean {metric} | 95% CI | stdev | "
+              + f"{'ipfc' if metric == 'ipc' else 'ipc'} | speedup |",
+              "|" + "---|" * (len(axes) + 6)]
+    other = "ipfc" if metric == "ipc" else "ipc"
+    for point in result.points:
+        stats = point.stats[metric]
+        cells = [axis_label(axis, point.point[axis]) for axis in axes]
+        speedup = "baseline" if point.is_baseline else (
+            f"{point.speedup:.3f}x" if point.speedup is not None else "-")
+        lines.append(
+            "| " + " | ".join(cells)
+            + f" | {stats.n} | {stats.mean:.3f} | ±{stats.ci95:.3f} | "
+            + f"{stats.stdev:.3f} | {point.stats[other].mean:.3f} | "
+            + f"{speedup} |")
+    if result.sensitivity:
+        lines += ["", "## Axis sensitivity", "",
+                  f"Relative {metric.upper()} range when the axis varies "
+                  "(averaged over all other axes):", ""]
+        for axis, rel in result.sensitivity:
+            lines.append(f"- `{axis}`: {rel:.1%}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def format_csv(result: SweepResult) -> str:
+    """One row per design point; stable column order."""
+    axes = _axes(result)
+    fixed = sorted(result.fixed)
+    header = list(axes) + fixed + ["n"]
+    for metric in METRICS:
+        header += [f"mean_{metric}", f"stdev_{metric}", f"ci95_{metric}"]
+    header += ["speedup", "is_baseline"]
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(header)
+    for point in result.points:
+        row = [axis_label(axis, point.point[axis]) for axis in axes]
+        row += [str(result.fixed[axis]) for axis in fixed]
+        row.append(point.stats[result.spec.metric].n)
+        for metric in METRICS:
+            stats = point.stats[metric]
+            row += [f"{stats.mean:.6f}", f"{stats.stdev:.6f}",
+                    f"{stats.ci95:.6f}"]
+        row.append("" if point.speedup is None
+                   else f"{point.speedup:.6f}")
+        row.append(int(point.is_baseline))
+        writer.writerow(row)
+    return out.getvalue()
+
+
+def format_json(result: SweepResult) -> str:
+    """Full structured rendering (machine-readable superset of the CSV)."""
+    spec = result.spec
+    doc = {
+        "sweep": spec.name,
+        "description": spec.description,
+        "metric": spec.metric,
+        "cycles": result.cycles,
+        "warmup": result.warmup,
+        "axes": [{"axis": axis,
+                  "values": [axis_label(axis, v) for v in values]}
+                 for axis, values in spec.axes],
+        "fixed": dict(result.fixed),
+        "baseline": {axis: axis_label(axis, value)
+                     for axis, value in result.baseline_point()
+                     .point.items()},
+        "points": [
+            {
+                "point": {axis: axis_label(axis, value)
+                          for axis, value in point.point.items()},
+                "n": point.stats[spec.metric].n,
+                "metrics": {
+                    metric: {"mean": stats.mean, "stdev": stats.stdev,
+                             "ci95": stats.ci95}
+                    for metric, stats in point.stats.items()},
+                "speedup": point.speedup,
+                "is_baseline": point.is_baseline,
+            }
+            for point in result.points],
+        "sensitivity": [{"axis": axis, "relative_range": rel}
+                        for axis, rel in result.sensitivity],
+    }
+    return json.dumps(doc, indent=2) + "\n"
+
+
+FORMATTERS = {"md": format_markdown, "csv": format_csv,
+              "json": format_json}
+"""CLI ``--format`` name -> formatter."""

@@ -1,0 +1,71 @@
+"""Replicate statistics: mean, sample stdev, 95% confidence interval.
+
+Multi-seed sweep cells are aggregated with small-sample (Student t)
+confidence intervals — with 3-5 replicates the normal z of 1.96 would
+understate the interval badly.  The critical values are tabulated (no
+SciPy dependency); beyond 30 degrees of freedom the normal limit is
+used, where the t correction is below 4%.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_T_95_TWO_SIDED = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+    2.048, 2.045, 2.042,
+)
+"""Two-sided 95% Student-t critical values for df = 1 .. 30."""
+
+_Z_95 = 1.960
+
+
+def t_critical(df: int) -> float:
+    """Two-sided 95% t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    if df <= len(_T_95_TWO_SIDED):
+        return _T_95_TWO_SIDED[df - 1]
+    return _Z_95
+
+
+@dataclass(frozen=True)
+class Stats:
+    """Summary of one design point's replicates for one metric.
+
+    Attributes:
+        n: Replicate count.
+        mean: Sample mean.
+        stdev: Sample standard deviation (n-1 denominator; 0 for n=1).
+        ci95: Half-width of the 95% confidence interval of the mean
+            (0 for n=1 — a single replicate carries no spread
+            information).
+    """
+
+    n: int
+    mean: float
+    stdev: float
+    ci95: float
+
+    def __str__(self) -> str:
+        if self.n == 1:
+            return f"{self.mean:.3f}"
+        return f"{self.mean:.3f} ± {self.ci95:.3f}"
+
+
+def summarize(values) -> Stats:
+    """Aggregate an iterable of replicate measurements."""
+    values = list(values)
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot summarize zero replicates")
+    mean = sum(values) / n
+    if n == 1:
+        return Stats(1, mean, 0.0, 0.0)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stdev = math.sqrt(var)
+    ci95 = t_critical(n - 1) * stdev / math.sqrt(n)
+    return Stats(n, mean, stdev, ci95)

@@ -1,6 +1,7 @@
 """Tests for the experiment session and the content-addressed cache."""
 
 import json
+import os
 
 import pytest
 
@@ -131,6 +132,66 @@ class TestResultCache:
         cache.put("aa" * 32, result)
         cache.put("bb" * 32, result)
         assert len(cache) == 2
+
+
+class TestCacheMaintenance:
+    def filled(self, tmp_path, n=4) -> ResultCache:
+        cache = ResultCache(tmp_path)
+        result = simulate("2_MIX", cycles=300, warmup=150)
+        for i in range(n):
+            key = f"{i:02x}" * 32
+            cache.put(key, result)
+            # Spread mtimes so LRU order is deterministic even on
+            # coarse-granularity filesystems.
+            path = cache.path_for(key)
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        return cache
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        cache = self.filled(tmp_path, n=3)
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+        assert stats["oldest"] <= stats["newest"]
+
+    def test_stats_on_empty_cache(self, tmp_path):
+        stats = ResultCache(tmp_path / "nothing").stats()
+        assert stats == {"entries": 0, "bytes": 0,
+                         "oldest": None, "newest": None}
+
+    def test_prune_max_entries_evicts_oldest_first(self, tmp_path):
+        cache = self.filled(tmp_path, n=4)
+        assert cache.prune(max_entries=2) == 2
+        assert len(cache) == 2
+        # The two newest (utime-stamped) entries survive.
+        assert cache.path_for("02" * 32).exists()
+        assert cache.path_for("03" * 32).exists()
+        assert not cache.path_for("00" * 32).exists()
+
+    def test_prune_max_age_drops_stale_entries(self, tmp_path):
+        cache = self.filled(tmp_path, n=3)   # mtimes far in the past
+        assert cache.prune(max_age=3600) == 3
+        assert len(cache) == 0
+
+    def test_prune_noop_within_budget(self, tmp_path):
+        cache = self.filled(tmp_path, n=2)
+        assert cache.prune(max_entries=5) == 0
+        assert len(cache) == 2
+
+    def test_pruned_entry_resimulates_cleanly(self, tmp_path):
+        session = fast_session(cache_dir=tmp_path)
+        session.measure("2_MIX", "gshare+BTB", "ICOUNT.1.8")
+        session.disk.prune(max_entries=0)
+        fresh = fast_session(cache_dir=tmp_path)
+        fresh.measure("2_MIX", "gshare+BTB", "ICOUNT.1.8")
+        assert fresh.simulated == 1
+
+    def test_prune_rejects_negative_budgets(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.prune(max_entries=-1)
+        with pytest.raises(ValueError):
+            cache.prune(max_age=-1.0)
 
 
 class TestExperimentSession:

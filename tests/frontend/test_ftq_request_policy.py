@@ -81,6 +81,45 @@ class TestPolicySpec:
         assert isinstance(PolicySpec.parse("RR.1.8").make(2), RoundRobin)
         assert isinstance(PolicySpec.parse("ICOUNT.1.8").make(2), ICount)
 
+    @pytest.mark.parametrize("name", ["RR", "ICOUNT"])
+    @pytest.mark.parametrize("threads", [1, 2])
+    @pytest.mark.parametrize("width", [8, 16, 32])
+    def test_parse_round_trip_across_widths(self, name, threads, width):
+        spec = f"{name}.{threads}.{width}"
+        parsed = PolicySpec.parse(spec)
+        assert str(parsed) == spec
+        assert PolicySpec.parse(str(parsed)) == parsed
+
+    def test_for_threads_clamps_with_warning(self):
+        spec = PolicySpec.parse("ICOUNT.2.8")
+        with pytest.warns(UserWarning, match="clamping"):
+            clamped = spec.for_threads(1)
+        assert clamped == PolicySpec("ICOUNT", 1, 8)
+        assert str(clamped) == "ICOUNT.1.8"
+
+    def test_for_threads_no_op_when_satisfiable(self):
+        import warnings
+        spec = PolicySpec.parse("ICOUNT.2.8")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert spec.for_threads(2) is spec
+            assert spec.for_threads(4) is spec
+
+    def test_for_threads_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PolicySpec.parse("RR.1.8").for_threads(0)
+
+    def test_simulator_clamps_overwide_policy(self):
+        # End to end: a 2.8 policy on a single-thread workload runs as
+        # 1.8 (and warns) instead of simulating two-thread arbitration
+        # that no real fetch could exercise.
+        from repro.core.simulator import simulate
+        with pytest.warns(UserWarning, match="clamping"):
+            result = simulate(("gzip",), engine="stream",
+                              policy="ICOUNT.2.8", cycles=200, warmup=100)
+        assert result.policy == "ICOUNT.1.8"
+        assert result.bank_conflicts == 0
+
 
 class TestRoundRobin:
     def test_rotates(self):

@@ -1,0 +1,53 @@
+"""Replicate statistics: mean/stdev/CI against hand-computed values."""
+
+import math
+
+import pytest
+
+from repro.sweeps import Stats, summarize, t_critical
+
+
+class TestTCritical:
+    def test_tabulated_small_samples(self):
+        assert t_critical(1) == pytest.approx(12.706)
+        assert t_critical(2) == pytest.approx(4.303)
+        assert t_critical(4) == pytest.approx(2.776)
+        assert t_critical(30) == pytest.approx(2.042)
+
+    def test_normal_limit_beyond_table(self):
+        assert t_critical(31) == pytest.approx(1.960)
+        assert t_critical(10_000) == pytest.approx(1.960)
+
+    def test_monotone_decreasing(self):
+        values = [t_critical(df) for df in range(1, 40)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_df(self):
+        with pytest.raises(ValueError):
+            t_critical(0)
+
+
+class TestSummarize:
+    def test_hand_computed_triple(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.stdev == pytest.approx(1.0)
+        # t(df=2) * 1.0 / sqrt(3)
+        assert s.ci95 == pytest.approx(4.303 / math.sqrt(3))
+
+    def test_single_replicate_has_no_spread(self):
+        assert summarize([5.0]) == Stats(1, 5.0, 0.0, 0.0)
+
+    def test_identical_replicates_zero_ci(self):
+        s = summarize([2.5, 2.5, 2.5, 2.5])
+        assert s.stdev == 0.0
+        assert s.ci95 == 0.0
+
+    def test_zero_replicates_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_rendering(self):
+        assert str(summarize([5.0])) == "5.000"
+        assert "±" in str(summarize([1.0, 2.0]))
