@@ -30,6 +30,7 @@ import time
 from repro.experiments import FIGURES, PAPER_CLAIMS, ExperimentSession, \
     format_claims, format_figure
 from repro.experiments.cache import DEFAULT_CACHE_DIR
+from repro.perf.profiling import maybe_profiled
 from repro.experiments.paper_data import DISTRIBUTION_CLAIMS, \
     FIG2_ANCHORS, SUPERSCALAR_CLAIMS
 from repro.program import SPECINT2000, program_for
@@ -72,6 +73,14 @@ def parse_args(argv=None) -> argparse.Namespace:
                         metavar="MAX_ENTRIES",
                         help="after the run, evict the oldest cache "
                              "entries beyond this budget")
+    parser.add_argument("--cache-budget", type=int, default=None,
+                        metavar="MAX_ENTRIES",
+                        help="auto-prune the cache to this many entries "
+                             "when the session closes (maintenance "
+                             "policy; unbounded by default)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top-25 "
+                             "cumulative entries to stderr")
     parser.add_argument("--only", default=None,
                         help="comma-separated subset to regenerate: "
                              "figure ids (fig2,fig5a,...) and/or section "
@@ -83,6 +92,8 @@ def parse_args(argv=None) -> argparse.Namespace:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.prune_cache is not None and args.no_cache:
         parser.error("--prune-cache is meaningless with --no-cache")
+    if args.cache_budget is not None and args.no_cache:
+        parser.error("--cache-budget is meaningless with --no-cache")
     if args.cycles is None:
         args.cycles = args.legacy_cycles if args.legacy_cycles is not None \
             else 20_000
@@ -289,13 +300,13 @@ def emit_json(session: ExperimentSession, sections: set, fig_ids: set,
     print()
 
 
-def main(argv=None) -> None:
-    args = parse_args(argv)
+def run(args) -> None:
     sections, fig_ids = select(args.only)
     session = ExperimentSession(
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
-        cycles=args.cycles, warmup=args.warmup)
+        cycles=args.cycles, warmup=args.warmup,
+        cache_budget_entries=args.cache_budget)
 
     t0 = time.time()
     # One up-front batch: every cell the selected sections will read,
@@ -319,6 +330,16 @@ def main(argv=None) -> None:
         print(f"[run_experiments] cache pruned: {removed} entry(ies) "
               f"evicted, {stats['entries']} kept "
               f"({stats['bytes']} bytes)", file=sys.stderr)
+
+    removed = session.close()
+    if removed:
+        print(f"[run_experiments] cache budget: {removed} entry(ies) "
+              f"evicted on close", file=sys.stderr)
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    maybe_profiled(lambda: run(args), enabled=args.profile)
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ import time
 from repro.experiments import ExperimentSession
 from repro.experiments.cache import DEFAULT_CACHE_DIR
 from repro.experiments.session import DEFAULT_CYCLES
+from repro.perf.profiling import maybe_profiled
 from repro.sweeps import (
     FORMATTERS,
     PRESETS,
@@ -158,6 +159,14 @@ def parse_args(argv=None) -> argparse.Namespace:
                         metavar="MAX_ENTRIES",
                         help="after the run, evict the oldest cache "
                              "entries beyond this budget")
+    parser.add_argument("--cache-budget", type=int, default=None,
+                        metavar="MAX_ENTRIES",
+                        help="auto-prune the cache to this many entries "
+                             "when the session closes (maintenance "
+                             "policy; unbounded by default)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top-25 "
+                             "cumulative entries to stderr")
     parser.add_argument("--format", dest="fmt",
                         choices=sorted(FORMATTERS), default="md",
                         help="report format (default: md)")
@@ -168,14 +177,12 @@ def parse_args(argv=None) -> argparse.Namespace:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.prune_cache is not None and args.no_cache:
         parser.error("--prune-cache is meaningless with --no-cache")
+    if args.cache_budget is not None and args.no_cache:
+        parser.error("--cache-budget is meaningless with --no-cache")
     return args
 
 
-def main(argv=None) -> None:
-    args = parse_args(argv)
-    if args.list_presets:
-        list_presets()
-        return
+def run(args) -> None:
 
     try:
         spec = build_spec(args)
@@ -189,7 +196,8 @@ def main(argv=None) -> None:
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
         cycles=spec.cycles if spec.cycles is not None else DEFAULT_CYCLES,
-        warmup=spec.warmup)
+        warmup=spec.warmup,
+        cache_budget_entries=args.cache_budget)
 
     t0 = time.time()
     print(f"[run_sweep] {spec.name}: {spec.n_cells()} cell(s), "
@@ -217,6 +225,19 @@ def main(argv=None) -> None:
         print(f"[run_sweep] cache pruned: {removed} entry(ies) evicted, "
               f"{stats['entries']} kept ({stats['bytes']} bytes)",
               file=sys.stderr)
+
+    removed = session.close()
+    if removed:
+        print(f"[run_sweep] cache budget: {removed} entry(ies) evicted "
+              f"on close", file=sys.stderr)
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    if args.list_presets:
+        list_presets()
+        return
+    maybe_profiled(lambda: run(args), enabled=args.profile)
 
 
 if __name__ == "__main__":

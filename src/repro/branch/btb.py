@@ -42,7 +42,12 @@ class BTB:
         return ((pc >> 2) ^ (asid * 0x9E37), pc * 64 + asid)
 
     def lookup(self, pc: int, asid: int = 0) -> BTBEntry | None:
-        """Return the entry for the branch at ``pc``, if cached."""
+        """Return the entry for the branch at ``pc``, if cached.
+
+        Reference implementation: the gshare engine's compiled
+        ``predict`` closure inlines this probe for its block-formation
+        scan (see ``gshare_btb._build_predict``).
+        """
         index, key = self._key(pc, asid)
         return self._table.lookup(index, key)
 

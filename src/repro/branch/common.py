@@ -58,7 +58,7 @@ class SetAssocTable:
     table; the caller computes the set index and provides the tag key.
     """
 
-    __slots__ = ("n_sets", "assoc", "_sets", "hits", "misses")
+    __slots__ = ("n_sets", "assoc", "_sets", "_set_mask", "hits", "misses")
 
     def __init__(self, entries: int, assoc: int) -> None:
         if entries % assoc != 0:
@@ -72,6 +72,7 @@ class SetAssocTable:
         self.assoc = assoc
         self._sets: list[list[tuple[int, object]]] = \
             [[] for _ in range(n_sets)]
+        self._set_mask = n_sets - 1
         self.hits = 0
         self.misses = 0
 
@@ -80,7 +81,7 @@ class SetAssocTable:
 
         Returns None on miss.
         """
-        entries = self._sets[index & (self.n_sets - 1)]
+        entries = self._sets[index & self._set_mask]
         for pos, (tag, value) in enumerate(entries):
             if tag == key:
                 if pos:
@@ -92,7 +93,7 @@ class SetAssocTable:
 
     def insert(self, index: int, key: int, value) -> None:
         """Insert or overwrite ``key``; evicts the LRU entry if full."""
-        entries = self._sets[index & (self.n_sets - 1)]
+        entries = self._sets[index & self._set_mask]
         for pos, (tag, _) in enumerate(entries):
             if tag == key:
                 entries.pop(pos)

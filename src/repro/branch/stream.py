@@ -128,16 +128,32 @@ class StreamPredictor:
         """
         self.lookups += 1
         key = start * 64 + asid
-        path_index = history.index(start, self._second_index_bits) \
-            ^ (asid * 0x9E37)
-        entry = self._second.lookup(path_index, key)
-        if entry is not None:
-            self.second_hits += 1
-            return entry
-        entry = self._first.lookup((start >> 2) ^ (asid * 0x9E37), key)
-        if entry is not None:
-            self.first_hits += 1
-            return entry
+        asid_mix = asid * 0x9E37
+        # SetAssocTable.lookup inlined for both levels (one cascaded
+        # lookup per prediction, every cycle).
+        second = self._second
+        entries = second._sets[(history.index(start,
+                                              self._second_index_bits)
+                                ^ asid_mix) & second._set_mask]
+        for pos, entry in enumerate(entries):
+            if entry[0] == key:
+                if pos:
+                    entries.insert(0, entries.pop(pos))
+                second.hits += 1
+                self.second_hits += 1
+                return entry[1]
+        second.misses += 1
+        first = self._first
+        entries = first._sets[((start >> 2) ^ asid_mix)
+                              & first._set_mask]
+        for pos, entry in enumerate(entries):
+            if entry[0] == key:
+                if pos:
+                    entries.insert(0, entries.pop(pos))
+                first.hits += 1
+                self.first_hits += 1
+                return entry[1]
+        first.misses += 1
         return None
 
     def reset_stats(self) -> None:

@@ -73,22 +73,53 @@ class ExperimentSession:
             override it.
         cycles / warmup: Default run windows (``warmup=None`` means the
             config's ``warmup_cycles``).
+        cache_budget_entries: Maintenance policy for long campaigns —
+            on :meth:`close` (or context-manager exit) the persistent
+            cache is pruned to at most this many entries, oldest-first.
+            ``None`` (the default) keeps the cache unbounded.
     """
 
     def __init__(self, jobs: int = 1, cache_dir=None,
                  config: SimConfig | None = None,
                  cycles: int = DEFAULT_CYCLES,
-                 warmup: int | None = None) -> None:
+                 warmup: int | None = None,
+                 cache_budget_entries: int | None = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if cache_budget_entries is not None and cache_budget_entries < 0:
+            raise ValueError(f"cache_budget_entries must be >= 0, got "
+                             f"{cache_budget_entries}")
         self.jobs = jobs
         self.config = config or DEFAULT_CONFIG
         self.cycles = cycles
         self.warmup = warmup
         self.disk = ResultCache(cache_dir) if cache_dir is not None else None
+        self.cache_budget_entries = cache_budget_entries
         self._memo: dict[str, SimResult] = {}
         self.simulated = 0
         self.memo_hits = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle / cache maintenance
+    # ------------------------------------------------------------------
+
+    def close(self) -> int:
+        """Run end-of-session cache maintenance; returns evictions.
+
+        With ``cache_budget_entries`` set and a persistent cache
+        attached, prunes the cache to the budget (oldest entries first;
+        a pruned cell simply re-simulates on next use).  Idempotent and
+        safe to call without a cache or budget.
+        """
+        if self.disk is None or self.cache_budget_entries is None:
+            return 0
+        return self.disk.prune(max_entries=self.cache_budget_entries)
+
+    def __enter__(self) -> "ExperimentSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # cell resolution

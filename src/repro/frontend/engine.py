@@ -34,6 +34,11 @@ class FetchEngine:
 
     name = "abstract"
 
+    commit_training = True
+    """Whether :meth:`commit` does anything.  Engines whose commit hook
+    is a no-op set this False so the core's commit loop can skip one
+    call per committed instruction (the default is conservative)."""
+
     def predict(self, tid: int, pc: int, width: int):
         """Form one fetch request for thread ``tid`` starting at ``pc``.
 

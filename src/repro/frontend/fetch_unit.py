@@ -14,6 +14,19 @@ simultaneously tracks the correct path; the first disagreement marks the
 materialised branch with ``diverges`` and everything younger as
 wrong-path, to be squashed when that branch resolves (at decode for
 misfetched direct jumps/calls, at execute otherwise).
+
+Both stages run every cycle of every simulation, so they are compiled
+as closures once per fetch unit (:meth:`FetchUnit._build_stages`):
+per-thread structures (FTQ deques, occurrence-count dicts, basic-block
+maps) are captured as free variables, candidate/bank lists are reusable
+scratch buffers, thread ordering sorts in place
+(:meth:`repro.frontend.policy.FetchPolicy.order`), and the
+architectural walk of sequential non-branch instructions is inlined
+(the :meth:`~repro.trace.context.ThreadContext.step` fast path) so the
+common instruction costs no method calls at all.  Captured structures
+are identity-stable — mutated in place, never rebound — except
+``self.stats``, which :meth:`reset_stats` replaces and closures
+therefore re-read per call.
 """
 
 from __future__ import annotations
@@ -23,7 +36,6 @@ from collections import deque
 from repro.frontend.engine import FetchEngine
 from repro.frontend.ftq import FetchTargetQueue
 from repro.frontend.policy import FetchPolicy, PolicySpec
-from repro.frontend.request import FetchRequest
 from repro.isa.instruction import INSTR_BYTES, BranchKind, DynInst
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.trace.context import ThreadContext
@@ -66,7 +78,12 @@ class FetchStats:
 
 
 class FetchUnit:
-    """Two-stage decoupled front-end shared by all hardware threads."""
+    """Two-stage decoupled front-end shared by all hardware threads.
+
+    ``predict_stage`` and ``fetch_stage`` are closures built by
+    :meth:`_build_stages` (materialisation is inlined into the fetch
+    stage); see the module docstring for the specialisation contract.
+    """
 
     def __init__(self, engine: FetchEngine, spec: PolicySpec,
                  policy: FetchPolicy, memory: MemoryHierarchy,
@@ -89,6 +106,7 @@ class FetchUnit:
         self.line_instrs = line_bytes // INSTR_BYTES
         self.stats = FetchStats(max_width=max(self.spec.width,
                                               self.line_instrs))
+        self._build_stages(ftq_depth)
 
     def reset_stats(self) -> None:
         """Fresh fetch counters; FTQ/buffer/PC state is untouched."""
@@ -96,145 +114,291 @@ class FetchUnit:
             max_width=len(self.stats.delivered_histogram) - 1)
 
     # ------------------------------------------------------------------
-    # prediction stage
+    # the compiled stages
     # ------------------------------------------------------------------
 
-    def predict_stage(self, cycle: int) -> None:
-        """Generate one fetch request per selected thread."""
-        candidates = [t for t in range(len(self.contexts))
-                      if not self.ftqs[t].full]
-        if not candidates:
-            return
-        order = self.policy.order(cycle, candidates, self.icounts)
-        for tid in order[:self.spec.threads_per_cycle]:
-            request = self.engine.predict(tid, self.next_pc[tid],
-                                          self.spec.width)
-            self.ftqs[tid].push(request)
-            self.next_pc[tid] = request.next_pc
-            self.stats.predictions += 1
+    def _build_stages(self, ftq_depth: int) -> None:
+        """Specialise the per-cycle stages for this fetch unit."""
+        n_threads = len(self.contexts)
+        contexts = self.contexts
+        ftq_queues = [ftq._queue for ftq in self.ftqs]
+        next_pc = self.next_pc
+        blocked_until = self.blocked_until
+        seq_list = self.seq
+        icounts = self.icounts
+        fetch_buffer = self.fetch_buffer
+        buffer_append = fetch_buffer.append
+        capacity = self.fetch_buffer_capacity
+        line_instrs = self.line_instrs
+        line_mask = line_instrs - 1
+        width = self.spec.width
+        threads_per_cycle = self.spec.threads_per_cycle
+        simultaneous = threads_per_cycle > 1
+        policy_order = self.policy.order
+        engine_predict = self.engine.predict
+        ifetch = self.memory.ifetch
+        bank_of = self.memory.l1i.bank_of     # == MemoryHierarchy.ibank_of
+        # Per-thread architectural structures (identity-stable).
+        instr_gets = [ctx.program._instr_map.get for ctx in contexts]
+        counts_list = [ctx._counts for ctx in contexts]
+        memgens_list = [ctx.program.memgens for ctx in contexts]
+        behaviors_list = [ctx.program.behaviors for ctx in contexts]
+        callstack_list = [ctx._call_stack for ctx in contexts]
+        entry_list = [ctx.program.entry_addr for ctx in contexts]
+        kind_cond = int(BranchKind.COND)
+        kind_jump = int(BranchKind.JUMP)
+        kind_call = int(BranchKind.CALL)
+        kind_ret = int(BranchKind.RET)
+        predict_scratch: list[int] = []
+        fetch_scratch: list[int] = []
+        banks_scratch: list[int] = []
+        thread_range = range(n_threads)
+        instr_bytes = INSTR_BYTES
+        decode_resolvable = _DECODE_RESOLVABLE
+        dyninst_new = DynInst.__new__
+        dyninst = DynInst
+
+        def predict_stage(cycle: int) -> None:
+            """Generate one fetch request per selected thread."""
+            candidates = predict_scratch
+            del candidates[:]
+            for t in thread_range:
+                if len(ftq_queues[t]) < ftq_depth:
+                    candidates.append(t)
+            num = len(candidates)
+            if not num:
+                return
+            if num > 1:
+                # A single candidate needs no ordering; skip the sort.
+                # Shipped policies sort the scratch list in place and
+                # return it; honouring the return value keeps policies
+                # that return a fresh list correct too.
+                candidates = policy_order(cycle, candidates, icounts)
+            take = threads_per_cycle if threads_per_cycle < num else num
+            for k in range(take):
+                tid = candidates[k]
+                request = engine_predict(tid, next_pc[tid], width)
+                ftq_queues[tid].append(request)     # space checked above
+                next_pc[tid] = request.next_pc
+            self.stats.predictions += take
+
+        def fetch_stage(cycle: int) -> None:
+            """Drive I-cache accesses for the policy-selected threads."""
+            buffer_space = capacity - len(fetch_buffer)
+            if buffer_space <= 0:
+                return                  # fetch stalled behind decode
+            candidates = fetch_scratch
+            del candidates[:]
+            for t in thread_range:
+                if ftq_queues[t] and blocked_until[t] <= cycle:
+                    candidates.append(t)
+            if not candidates:
+                return
+            if len(candidates) > 1:
+                candidates = policy_order(cycle, candidates, icounts)
+            width_left = width
+            slots = threads_per_cycle
+            banks_in_use = banks_scratch
+            del banks_in_use[:]
+            stats = self.stats
+            attempted = False
+            delivered_total = 0
+            for tid in candidates:
+                if slots <= 0 or width_left <= 0 or buffer_space <= 0:
+                    break
+                slots -= 1
+                queue = ftq_queues[tid]
+                request = queue[0]
+                consumed = request.consumed
+                pc = request.start_pc + consumed * instr_bytes
+                if simultaneous:
+                    bank = bank_of(pc, tid)
+                    if bank in banks_in_use:
+                        stats.bank_conflicts += 1
+                        continue        # slot wasted on the conflict
+                    banks_in_use.append(bank)
+                access = ifetch(tid, pc, cycle)
+                attempted = True
+                if not access.hit:
+                    blocked_until[tid] = access.ready_cycle
+                    stats.icache_miss_blocks += 1
+                    continue
+                to_line_end = line_instrs - ((pc >> 2) & line_mask)
+                count = request.length - consumed
+                if width_left < count:
+                    count = width_left
+                if buffer_space < count:
+                    count = buffer_space
+                if to_line_end < count:
+                    count = to_line_end
+
+                # ---- materialise up to `count` DynInsts ----
+                # The architectural walk of correct-path non-branch
+                # instructions — the overwhelmingly common case — is
+                # the inlined fast path of ThreadContext.step plus
+                # ThreadContext.data_address: bump the occurrence
+                # count of memory instructions and advance the PC
+                # sequentially.  Branches still go through ctx.step so
+                # the walker's control-flow logic lives in one place.
+                ctx = contexts[tid]
+                instr_get = instr_gets[tid]
+                counts = counts_list[tid]
+                counts_get = counts.get
+                memgens = memgens_list[tid]
+                seq = seq_list[tid]
+                diverged = ctx.diverged
+                made = 0
+                wrong_path = 0
+                term_index = request.length - 1
+                term_is_branch = request.term_is_branch
+                for _ in range(count):
+                    static = instr_get(pc)
+                    if static is None:
+                        # Wrong-path fetch ran past the program image;
+                        # abandon the request (the squash redirects).
+                        consumed = request.length
+                        break
+                    # DynInst.__init__ inlined (millions of instances
+                    # per run) — keep in sync with the slot list there.
+                    di = dyninst_new(dyninst)
+                    di.tid = tid
+                    di.seq = seq
+                    di.static = static
+                    di.op = static.op
+                    di.on_correct_path = True
+                    di.pred_taken = False
+                    di.pred_target = 0
+                    di.actual_taken = False
+                    di.actual_target = 0
+                    di.diverges = False
+                    di.resolve_at_decode = False
+                    di.mem_addr = 0
+                    di.request = request
+                    di.pending = 0
+                    di.waiters = None
+                    di.age = -1
+                    di.issued = False
+                    di.completed = False
+                    di.squashed = False
+                    di.fetch_cycle = cycle
+                    seq += 1
+                    kind = static.kind  # truthy exactly for branches
+                    mg = static.memgen
+                    bogus_terminator = False
+                    if consumed == term_index and term_is_branch:
+                        if kind:
+                            di.pred_taken = request.term_taken
+                            di.pred_target = request.term_target
+                        elif request.term_taken and not diverged:
+                            # Stale/aliased entry predicted a taken
+                            # branch at a non-branch: the fetch path
+                            # jumps to term_target but the
+                            # architectural path falls through.
+                            # Detected as soon as it is decoded.
+                            bogus_terminator = True
+                    if diverged:
+                        di.on_correct_path = False
+                        wrong_path += 1
+                        if kind:
+                            # Wrong-path branches resolve as predicted
+                            # (standard trace-driven practice).
+                            di.actual_taken = di.pred_taken
+                            di.actual_target = di.pred_target
+                        if mg >= 0:
+                            # data_address(wrong path): peek the
+                            # occurrence index without consuming it.
+                            di.mem_addr = memgens[mg].address(
+                                counts_get(static.sid, 0))
+                    elif kind:
+                        # ThreadContext.step inlined for branches (the
+                        # method remains the reference walker used by
+                        # the trace tools): occurrence bump, outcome
+                        # evaluation, call-stack upkeep, PC update.
+                        sid = static.sid
+                        n_occ = counts_get(sid, 0)
+                        counts[sid] = n_occ + 1
+                        fall = pc + instr_bytes
+                        if kind == kind_cond:
+                            taken = behaviors_list[tid][
+                                static.behavior].taken(n_occ)
+                            target = static.target_addr
+                        elif kind == kind_jump:
+                            taken = True
+                            target = static.target_addr
+                        elif kind == kind_call:
+                            taken = True
+                            target = static.target_addr
+                            callstack_list[tid].append(fall)
+                        elif kind == kind_ret:
+                            taken = True
+                            stack = callstack_list[tid]
+                            # Underflow cannot happen on a validated
+                            # program's correct path; restart at entry
+                            # to keep the walker total.
+                            target = stack.pop() if stack \
+                                else entry_list[tid]
+                        else:           # IND_JUMP
+                            taken = True
+                            target = behaviors_list[tid][
+                                static.behavior].target(n_occ)
+                        ctx.pc = target if taken else fall
+                        di.actual_taken = taken
+                        di.actual_target = target
+                        pred_next = di.pred_target if di.pred_taken \
+                            else fall
+                        true_next = target if taken else fall
+                        if pred_next != true_next:
+                            di.diverges = True
+                            di.resolve_at_decode = (
+                                kind in decode_resolvable
+                                and not di.pred_taken)
+                            diverged = True
+                            ctx.diverged = True     # mark_diverged
+                        if mg >= 0:
+                            # data_address(correct path): step already
+                            # bumped, so this instance is `n_occ`.
+                            di.mem_addr = memgens[mg].address(n_occ)
+                    else:
+                        # step() fast path: occurrence bump +
+                        # sequential PC advance.
+                        if mg >= 0:
+                            sid = static.sid
+                            occ = counts_get(sid, 0)
+                            counts[sid] = occ + 1
+                            # data_address(correct path): the instance
+                            # that just executed is occurrence `occ`.
+                            di.mem_addr = memgens[mg].address(occ)
+                        ctx.pc = pc + instr_bytes
+                        if bogus_terminator:
+                            di.diverges = True
+                            di.resolve_at_decode = True
+                            diverged = True
+                            ctx.diverged = True     # mark_diverged
+                    buffer_append(di)
+                    consumed += 1
+                    pc += instr_bytes
+                    made += 1
+                request.consumed = consumed
+                seq_list[tid] = seq
+                icounts[tid] += made
+                if wrong_path:
+                    stats.wrong_path_fetched += wrong_path
+
+                width_left -= made
+                buffer_space -= made
+                delivered_total += made
+                if consumed == request.length:
+                    queue.popleft()
+            if attempted:
+                stats.fetch_cycles += 1
+                stats.fetched_instructions += delivered_total
+                stats.delivered_histogram[delivered_total] += 1
+
+        self.predict_stage = predict_stage
+        self.fetch_stage = fetch_stage
 
     # ------------------------------------------------------------------
-    # fetch stage
-    # ------------------------------------------------------------------
-
-    def fetch_stage(self, cycle: int) -> None:
-        """Drive I-cache accesses for the policy-selected threads."""
-        buffer_space = self.fetch_buffer_capacity - len(self.fetch_buffer)
-        if buffer_space <= 0:
-            return                      # fetch stalled behind decode
-        candidates = [t for t in range(len(self.contexts))
-                      if not self.ftqs[t].empty
-                      and self.blocked_until[t] <= cycle]
-        if not candidates:
-            return
-        order = self.policy.order(cycle, candidates, self.icounts)
-
-        width_left = self.spec.width
-        slots = self.spec.threads_per_cycle
-        banks_in_use: set[int] = set()
-        attempted = False
-        delivered_total = 0
-        for tid in order:
-            if slots <= 0 or width_left <= 0 or buffer_space <= 0:
-                break
-            slots -= 1
-            request = self.ftqs[tid].head()
-            pc = request.current_pc
-            bank = self.memory.ibank_of(pc, tid)
-            if self.spec.threads_per_cycle > 1 and bank in banks_in_use:
-                self.stats.bank_conflicts += 1
-                continue                # slot wasted on the conflict
-            banks_in_use.add(bank)
-            access = self.memory.ifetch(tid, pc, cycle)
-            attempted = True
-            if not access.hit:
-                self.blocked_until[tid] = access.ready_cycle
-                self.stats.icache_miss_blocks += 1
-                continue
-            to_line_end = self.line_instrs \
-                - ((pc >> 2) & (self.line_instrs - 1))
-            count = min(request.remaining, width_left, buffer_space,
-                        to_line_end)
-            made = self._materialize(tid, request, pc, count, cycle)
-            width_left -= made
-            buffer_space -= made
-            delivered_total += made
-            if request.remaining == 0:
-                self.ftqs[tid].pop_head()
-        if attempted:
-            self.stats.fetch_cycles += 1
-            self.stats.fetched_instructions += delivered_total
-            self.stats.delivered_histogram[delivered_total] += 1
-
-    def _materialize(self, tid: int, request: FetchRequest, pc: int,
-                     count: int, cycle: int) -> int:
-        """Create up to ``count`` DynInsts along the predicted path."""
-        ctx = self.contexts[tid]
-        program = ctx.program
-        delivered = 0
-        for _ in range(count):
-            static = program.instr_at(pc)
-            if static is None:
-                # Wrong-path fetch ran past the program image; abandon
-                # the request (the squash will redirect the thread).
-                request.consumed = request.length
-                break
-            di = DynInst(tid, self.seq[tid], static, cycle)
-            self.seq[tid] += 1
-            di.request = request
-            is_terminator = request.consumed == request.length - 1
-            bogus_terminator = False
-            if is_terminator and request.term_is_branch:
-                if static.is_branch:
-                    di.pred_taken = request.term_taken
-                    di.pred_target = request.term_target
-                elif request.term_taken and not ctx.diverged:
-                    # Stale/aliased entry predicted a taken branch at a
-                    # non-branch: the fetch path jumps to term_target but
-                    # the architectural path falls through.  Detectable
-                    # as soon as the instruction is decoded.
-                    bogus_terminator = True
-            if ctx.diverged:
-                di.on_correct_path = False
-                self.stats.wrong_path_fetched += 1
-                if static.is_branch:
-                    # Wrong-path branches resolve as predicted (standard
-                    # trace-driven practice): no nested squashes.
-                    di.actual_taken = di.pred_taken
-                    di.actual_target = di.pred_target
-                if static.memgen >= 0:
-                    di.mem_addr = ctx.data_address(static,
-                                                   correct_path=False)
-            else:
-                taken, target = ctx.step(static)
-                if static.is_branch:
-                    di.actual_taken = taken
-                    di.actual_target = target
-                    fall = static.addr + INSTR_BYTES
-                    pred_next = di.pred_target if di.pred_taken else fall
-                    true_next = target if taken else fall
-                    if pred_next != true_next:
-                        di.diverges = True
-                        di.resolve_at_decode = (
-                            static.kind in _DECODE_RESOLVABLE
-                            and not di.pred_taken)
-                        ctx.mark_diverged()
-                elif bogus_terminator:
-                    di.diverges = True
-                    di.resolve_at_decode = True
-                    ctx.mark_diverged()
-                if static.memgen >= 0:
-                    di.mem_addr = ctx.data_address(static,
-                                                   correct_path=True)
-            self.fetch_buffer.append(di)
-            self.icounts[tid] += 1
-            request.consumed += 1
-            pc += INSTR_BYTES
-            delivered += 1
-        return delivered
-
-    # ------------------------------------------------------------------
-    # squash recovery
+    # squash recovery (cold path)
     # ------------------------------------------------------------------
 
     def redirect(self, tid: int, resume_pc: int, di: DynInst,
@@ -249,15 +413,18 @@ class FetchUnit:
         self.next_pc[tid] = resume_pc
         self.blocked_until[tid] = 0
         self.engine.repair(tid, di)
-        kept: list[DynInst] = []
+        seq = di.seq
         removed = 0
         for entry in self.fetch_buffer:
-            if entry.tid == tid and entry.seq > di.seq:
+            if entry.tid == tid and entry.seq > seq:
                 entry.squashed = True
                 removed += 1
-            else:
-                kept.append(entry)
         if removed:
+            # Rebuild only when the thread actually had buffered
+            # instructions; the common squash (empty remnant) pays a
+            # single scan and no allocation.
+            kept = [entry for entry in self.fetch_buffer
+                    if not (entry.tid == tid and entry.seq > seq)]
             self.fetch_buffer.clear()
             self.fetch_buffer.extend(kept)
             self.icounts[tid] -= removed

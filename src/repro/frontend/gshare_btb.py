@@ -22,6 +22,7 @@ class GShareBtbEngine(FetchEngine):
     """gshare (64K, 16-bit history) + BTB (2K, 4-way) + per-thread RAS."""
 
     name = "gshare+BTB"
+    commit_training = False     # commit() below is a no-op
 
     def __init__(self, n_threads: int, config=None) -> None:
         gshare_entries = getattr(config, "gshare_entries", 64 * 1024)
@@ -35,44 +36,92 @@ class GShareBtbEngine(FetchEngine):
         self.ghr = [GlobalHistory(gshare_history) for _ in range(n_threads)]
         self.ras = [ReturnAddressStack(ras_entries)
                     for _ in range(n_threads)]
+        self._build_predict()
 
-    def predict(self, tid: int, pc: int, width: int) -> FetchRequest:
-        """Scan up to ``width`` addresses; stop at the first BTB hit."""
-        ghr = self.ghr[tid]
-        ras = self.ras[tid]
-        ghr_ckpt = ghr.snapshot()
-        ras_ckpt = ras.snapshot()
+    def _build_predict(self) -> None:
+        """Compile ``predict`` as a closure for this engine.
 
-        entry = None
-        length = width
-        for i in range(width):
-            addr = pc + i * INSTR_BYTES
-            entry = self.btb.lookup(addr, tid)
-            if entry is not None:
-                length = i + 1
-                break
-        if entry is None:
-            return FetchRequest(tid, pc, width, pc + width * INSTR_BYTES,
-                                ghr_ckpt=ghr_ckpt, ras_ckpt=ras_ckpt)
+        The prediction stage runs every cycle; the GHR snapshot/push,
+        RAS snapshot and gshare counter read are inlined over captured
+        (identity-stable) structures.  ``resolve_branch``/``repair``
+        stay ordinary methods — they run per resolved branch, not per
+        cycle.
+        """
+        ghrs = self.ghr
+        rass = self.ras
+        btb_table = self.btb._table
+        btb_sets = btb_table._sets
+        btb_mask = btb_table._set_mask
+        gshare = self.gshare
+        counters = gshare._table._counters
+        index_mask = gshare._index_mask
+        fetch_request = FetchRequest
+        instr_bytes = INSTR_BYTES
+        cond = BranchKind.COND
+        ret = BranchKind.RET
+        call = BranchKind.CALL
 
-        term_addr = pc + (length - 1) * INSTR_BYTES
-        kind = entry.kind
-        if kind == BranchKind.COND:
-            taken = self.gshare.predict(term_addr, ghr.value)
-            ghr.push(taken)
-            target = entry.target
-        elif kind == BranchKind.RET:
-            taken, target = True, ras.pop()
-        elif kind == BranchKind.CALL:
-            taken, target = True, entry.target
-            ras.push(term_addr + INSTR_BYTES)
-        else:                       # JUMP / IND_JUMP: last seen target
-            taken, target = True, entry.target
-        next_pc = target if taken else term_addr + INSTR_BYTES
-        return FetchRequest(tid, pc, length, next_pc,
-                            term_is_branch=True, term_taken=taken,
-                            term_target=target,
-                            ghr_ckpt=ghr_ckpt, ras_ckpt=ras_ckpt)
+        def predict(tid: int, pc: int, width: int) -> FetchRequest:
+            """Scan up to ``width`` addresses; stop at the first BTB hit."""
+            ghr = ghrs[tid]
+            ras = rass[tid]
+            ghr_ckpt = ghr.value                # GlobalHistory.snapshot
+            ras_stack = ras._stack
+            ras_ckpt = (ras._top, ras_stack[ras._top])  # RAS.snapshot
+            entry = None
+            length = width
+            addr = pc
+            asid_mix = tid * 0x9E37
+            tag_base = tid             # BTB tag key: addr * 64 + tid
+            # BTB.lookup (and its SetAssocTable scan) inlined: this
+            # loop probes every address of a prospective fetch block —
+            # the hottest predictor path in the repo.
+            for i in range(width):
+                slots = btb_sets[((addr >> 2) ^ asid_mix) & btb_mask]
+                key = addr * 64 + tag_base
+                hit = None
+                for posn, slot in enumerate(slots):
+                    if slot[0] == key:
+                        if posn:
+                            slots.insert(0, slots.pop(posn))
+                        hit = slot[1]
+                        break
+                if hit is not None:
+                    btb_table.hits += 1
+                    entry = hit
+                    length = i + 1
+                    break
+                btb_table.misses += 1
+                addr += instr_bytes
+            if entry is None:
+                # Positional args (see FetchRequest signature): this
+                # runs every cycle and keyword passing is measurable.
+                return fetch_request(tid, pc, width,
+                                     pc + width * instr_bytes,
+                                     False, False, 0, ghr_ckpt, ras_ckpt)
+
+            term_addr = pc + (length - 1) * instr_bytes
+            kind = entry.kind
+            if kind == cond:
+                # Inlined GShare.predict + GlobalHistory.push.
+                gshare.lookups += 1
+                history = ghr.value
+                taken = counters[((term_addr >> 2) ^ history)
+                                 & index_mask] >= 2
+                ghr.value = ((history << 1) | taken) & ghr._mask
+                target = entry.target
+            elif kind == ret:
+                taken, target = True, ras.pop()
+            elif kind == call:
+                taken, target = True, entry.target
+                ras.push(term_addr + instr_bytes)
+            else:                   # JUMP / IND_JUMP: last seen target
+                taken, target = True, entry.target
+            next_pc = target if taken else term_addr + instr_bytes
+            return fetch_request(tid, pc, length, next_pc,
+                                 True, taken, target, ghr_ckpt, ras_ckpt)
+
+        self.predict = predict
 
     def resolve_branch(self, di: DynInst) -> None:
         """Insert every resolved branch into the BTB; train gshare."""

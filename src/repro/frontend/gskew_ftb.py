@@ -22,6 +22,7 @@ class GSkewFtbEngine(FetchEngine):
     """gskew (3x32K, 15-bit history) + FTB (2K, 4-way) + per-thread RAS."""
 
     name = "gskew+FTB"
+    commit_training = False     # commit() below is a no-op
 
     def __init__(self, n_threads: int, config=None) -> None:
         gskew_entries = getattr(config, "gskew_bank_entries", 32 * 1024)
@@ -35,40 +36,56 @@ class GSkewFtbEngine(FetchEngine):
         self.ghr = [GlobalHistory(gskew_history) for _ in range(n_threads)]
         self.ras = [ReturnAddressStack(ras_entries)
                     for _ in range(n_threads)]
+        self._build_predict()
 
-    def predict(self, tid: int, pc: int, width: int) -> FetchRequest:
-        """One FTB lookup forms the whole fetch block."""
-        ghr = self.ghr[tid]
-        ras = self.ras[tid]
-        ghr_ckpt = ghr.snapshot()
-        ras_ckpt = ras.snapshot()
+    def _build_predict(self) -> None:
+        """Compile ``predict`` as a closure (see gshare engine notes)."""
+        ghrs = self.ghr
+        rass = self.ras
+        ftb_lookup = self.ftb.lookup
+        gskew_predict = self.gskew.predict
+        fetch_request = FetchRequest
+        instr_bytes = INSTR_BYTES
+        cond = BranchKind.COND
+        ret = BranchKind.RET
+        call = BranchKind.CALL
 
-        entry = self.ftb.lookup(pc, tid)
-        if entry is None:
-            # FTB miss: fall through sequentially; allocation happens at
-            # resolve time when a taken branch delimits the block.
-            return FetchRequest(tid, pc, width, pc + width * INSTR_BYTES,
-                                ghr_ckpt=ghr_ckpt, ras_ckpt=ras_ckpt)
+        def predict(tid: int, pc: int, width: int) -> FetchRequest:
+            """One FTB lookup forms the whole fetch block."""
+            ghr = ghrs[tid]
+            ras = rass[tid]
+            ghr_ckpt = ghr.value                # GlobalHistory.snapshot
+            ras_stack = ras._stack
+            ras_ckpt = (ras._top, ras_stack[ras._top])  # RAS.snapshot
+            entry = ftb_lookup(pc, tid)
+            if entry is None:
+                # FTB miss: fall through sequentially; allocation
+                # happens at resolve time when a taken branch delimits
+                # the block.
+                # Positional args: this runs every cycle.
+                return fetch_request(tid, pc, width,
+                                     pc + width * instr_bytes,
+                                     False, False, 0, ghr_ckpt, ras_ckpt)
 
-        length = entry.length
-        term_addr = pc + (length - 1) * INSTR_BYTES
-        kind = entry.kind
-        if kind == BranchKind.COND:
-            taken = self.gskew.predict(term_addr, ghr.value)
-            ghr.push(taken)
-            target = entry.target
-        elif kind == BranchKind.RET:
-            taken, target = True, ras.pop()
-        elif kind == BranchKind.CALL:
-            taken, target = True, entry.target
-            ras.push(term_addr + INSTR_BYTES)
-        else:
-            taken, target = True, entry.target
-        next_pc = target if taken else term_addr + INSTR_BYTES
-        return FetchRequest(tid, pc, length, next_pc,
-                            term_is_branch=True, term_taken=taken,
-                            term_target=target,
-                            ghr_ckpt=ghr_ckpt, ras_ckpt=ras_ckpt)
+            length = entry.length
+            term_addr = pc + (length - 1) * instr_bytes
+            kind = entry.kind
+            if kind == cond:
+                taken = gskew_predict(term_addr, ghr.value)
+                ghr.value = ((ghr.value << 1) | taken) & ghr._mask
+                target = entry.target
+            elif kind == ret:
+                taken, target = True, ras.pop()
+            elif kind == call:
+                taken, target = True, entry.target
+                ras.push(term_addr + instr_bytes)
+            else:
+                taken, target = True, entry.target
+            next_pc = target if taken else term_addr + instr_bytes
+            return fetch_request(tid, pc, length, next_pc,
+                                 True, taken, target, ghr_ckpt, ras_ckpt)
+
+        self.predict = predict
 
     def resolve_branch(self, di: DynInst) -> None:
         """Allocate fetch blocks on taken branches; train gskew."""

@@ -74,11 +74,16 @@ class PolicySpec:
 
 
 class FetchPolicy:
-    """Interface: order candidate threads by fetch priority."""
+    """Interface: order candidate threads by fetch priority.
+
+    ``order`` sorts **in place** and returns the same list: the fetch
+    unit calls it twice per cycle on reusable scratch buffers, so the
+    hot path never allocates a result list.
+    """
 
     def order(self, cycle: int, candidates: list[int],
               icounts: list[int]) -> list[int]:
-        """Return ``candidates`` sorted best-first for this cycle."""
+        """Sort ``candidates`` best-first for this cycle; returns it."""
         raise NotImplementedError
 
 
@@ -90,9 +95,34 @@ class RoundRobin(FetchPolicy):
 
     def order(self, cycle: int, candidates: list[int],
               icounts: list[int]) -> list[int]:
-        start = cycle % self.n_threads
-        return sorted(candidates,
-                      key=lambda t: (t - start) % self.n_threads)
+        n = self.n_threads
+        start = cycle % n
+        num = len(candidates)
+        if num == 2:
+            # Two candidates — the overwhelmingly common case — need
+            # one comparison, not the sort machinery.
+            a, b = candidates
+            if (b - start) % n < (a - start) % n:
+                candidates[0] = b
+                candidates[1] = a
+            return candidates
+        if num <= 8:
+            # Allocation-free insertion sort (no key lambdas/tuples);
+            # rotation distances are unique, so order is total.
+            for i in range(1, num):
+                t = candidates[i]
+                rt = (t - start) % n
+                j = i - 1
+                while j >= 0:
+                    u = candidates[j]
+                    if (u - start) % n <= rt:
+                        break
+                    candidates[j + 1] = u
+                    j -= 1
+                candidates[j + 1] = t
+            return candidates
+        candidates.sort(key=lambda t: (t - start) % n)
+        return candidates
 
 
 class ICount(FetchPolicy):
@@ -107,7 +137,38 @@ class ICount(FetchPolicy):
 
     def order(self, cycle: int, candidates: list[int],
               icounts: list[int]) -> list[int]:
-        start = cycle % self.n_threads
-        return sorted(candidates,
-                      key=lambda t: (icounts[t],
-                                     (t - start) % self.n_threads))
+        n = self.n_threads
+        start = cycle % n
+        num = len(candidates)
+        if num == 2:
+            # Two candidates — the overwhelmingly common case — need
+            # one comparison, not the sort machinery.
+            a, b = candidates
+            ca = icounts[a]
+            cb = icounts[b]
+            if cb < ca or (cb == ca
+                           and (b - start) % n < (a - start) % n):
+                candidates[0] = b
+                candidates[1] = a
+            return candidates
+        if num <= 8:
+            # Allocation-free insertion sort on (icount, rotation)
+            # without key lambdas/tuples.  Stable ordering is moot:
+            # rotation distances are unique within a cycle.
+            for i in range(1, num):
+                t = candidates[i]
+                ct = icounts[t]
+                rt = (t - start) % n
+                j = i - 1
+                while j >= 0:
+                    u = candidates[j]
+                    cu = icounts[u]
+                    if cu < ct or (cu == ct
+                                   and (u - start) % n <= rt):
+                        break
+                    candidates[j + 1] = u
+                    j -= 1
+                candidates[j + 1] = t
+            return candidates
+        candidates.sort(key=lambda t: (icounts[t], (t - start) % n))
+        return candidates

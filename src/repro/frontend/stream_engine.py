@@ -36,16 +36,17 @@ class _StreamBuilder:
 
     def observe(self, di: DynInst, predictor: StreamPredictor) -> None:
         self.count += 1
-        if di.is_branch and di.actual_taken:
+        kind = di.static.kind           # truthy exactly for branches
+        if kind and di.actual_taken:
             predictor.update(self.start, self.count, di.actual_target,
-                             di.static.kind, self.history, di.tid)
+                             kind, self.history, di.tid)
             self.history.push(self.start)
             self.start = di.actual_target
             self.count = 0
         elif self.count >= MAX_STREAM_LENGTH:
             # Overlong sequential run: split into a pseudo-stream that
             # continues sequentially (kind NOT_BRANCH).
-            next_pc = di.pc + INSTR_BYTES
+            next_pc = di.static.addr + INSTR_BYTES
             predictor.update(self.start, self.count, next_pc,
                              BranchKind.NOT_BRANCH, self.history, di.tid)
             self.history.push(self.start)
@@ -69,40 +70,57 @@ class StreamFetchEngine(FetchEngine):
         self.ras = [ReturnAddressStack(ras_entries)
                     for _ in range(n_threads)]
         self._builders: list[_StreamBuilder | None] = [None] * n_threads
+        self._build_predict()
 
-    def predict(self, tid: int, pc: int, width: int) -> FetchRequest:
-        """Predict the whole stream starting at ``pc``."""
-        dolc = self.dolc[tid]
-        ras = self.ras[tid]
-        dolc_ckpt = dolc.snapshot()
-        ras_ckpt = ras.snapshot()
+    def _build_predict(self) -> None:
+        """Compile ``predict`` as a closure (see gshare engine notes)."""
+        dolcs = self.dolc
+        rass = self.ras
+        predictor_lookup = self.predictor.lookup
+        fetch_request = FetchRequest
+        instr_bytes = INSTR_BYTES
+        not_branch = BranchKind.NOT_BRANCH
+        ret = BranchKind.RET
+        call = BranchKind.CALL
 
-        entry = self.predictor.lookup(pc, dolc, tid)
-        if entry is None:
-            # Cold stream: sequential fallback, trained at commit.
-            return FetchRequest(tid, pc, width, pc + width * INSTR_BYTES,
-                                ras_ckpt=ras_ckpt, dolc_ckpt=dolc_ckpt)
+        def predict(tid: int, pc: int, width: int) -> FetchRequest:
+            """Predict the whole stream starting at ``pc``."""
+            dolc = dolcs[tid]
+            ras = rass[tid]
+            dolc_ckpt = dolc.snapshot()
+            ras_stack = ras._stack
+            ras_ckpt = (ras._top, ras_stack[ras._top])  # RAS.snapshot
+            entry = predictor_lookup(pc, dolc, tid)
+            if entry is None:
+                # Cold stream: sequential fallback, trained at commit.
+                # Positional args: this runs every cycle.
+                return fetch_request(tid, pc, width,
+                                     pc + width * instr_bytes,
+                                     False, False, 0, None,
+                                     ras_ckpt, dolc_ckpt)
 
-        length = entry.length
-        term_addr = pc + (length - 1) * INSTR_BYTES
-        kind = entry.kind
-        if kind == BranchKind.NOT_BRANCH:
-            # Split pseudo-stream: continues sequentially, no branch.
+            length = entry.length
+            term_addr = pc + (length - 1) * instr_bytes
+            kind = entry.kind
+            if kind == not_branch:
+                # Split pseudo-stream: continues sequentially, no branch.
+                dolc.push(pc)
+                return fetch_request(tid, pc, length,
+                                     pc + length * instr_bytes,
+                                     False, False, 0, None,
+                                     ras_ckpt, dolc_ckpt)
+            if kind == ret:
+                target = ras.pop()
+            else:
+                target = entry.target
+            if kind == call:
+                ras.push(term_addr + instr_bytes)
             dolc.push(pc)
-            return FetchRequest(tid, pc, length,
-                                pc + length * INSTR_BYTES,
-                                ras_ckpt=ras_ckpt, dolc_ckpt=dolc_ckpt)
-        if kind == BranchKind.RET:
-            target = ras.pop()
-        else:
-            target = entry.target
-        if kind == BranchKind.CALL:
-            ras.push(term_addr + INSTR_BYTES)
-        dolc.push(pc)
-        return FetchRequest(tid, pc, length, target,
-                            term_is_branch=True, term_taken=True,
-                            term_target=target,
-                            ras_ckpt=ras_ckpt, dolc_ckpt=dolc_ckpt)
+            return fetch_request(tid, pc, length, target,
+                                 True, True, target, None,
+                                 ras_ckpt, dolc_ckpt)
+
+        self.predict = predict
 
     def resolve_branch(self, di: DynInst) -> None:
         """No resolve-time training: streams are built at commit."""

@@ -46,13 +46,18 @@ _LATENCY = {
     InstrClass.BRANCH: 1,
 }
 
+LATENCY_TABLE: tuple[int, ...] = tuple(
+    _LATENCY[InstrClass(k)] for k in range(len(InstrClass)))
+"""``_LATENCY`` flattened for the issue stage: index by ``int(opclass)``
+(a plain sequence index, no enum hashing on the hot path)."""
+
 
 def execution_latency(opclass: InstrClass) -> int:
     """Return the fixed functional-unit latency of ``opclass`` in cycles.
 
     Loads add the data-cache access latency on top of this at issue time.
     """
-    return _LATENCY[opclass]
+    return LATENCY_TABLE[opclass]
 
 
 class StaticInstruction:
@@ -73,7 +78,7 @@ class StaticInstruction:
             and stores, ``-1`` otherwise.
     """
 
-    __slots__ = ("sid", "addr", "opclass", "kind", "dest", "srcs",
+    __slots__ = ("sid", "addr", "opclass", "op", "kind", "dest", "srcs",
                  "target_addr", "behavior", "memgen")
 
     def __init__(self, sid: int, addr: int, opclass: InstrClass,
@@ -84,6 +89,7 @@ class StaticInstruction:
         self.sid = sid
         self.addr = addr
         self.opclass = opclass
+        self.op = int(opclass)      # plain-int opclass for hot indexing
         self.kind = kind
         self.dest = dest
         self.srcs = srcs
@@ -111,13 +117,17 @@ class DynInst:
 
     Carries the speculative-control-flow bookkeeping the front-end needs
     (predicted vs. architectural outcome, divergence marker) and the
-    execution-core bookkeeping (producers, completion state).
+    execution-core bookkeeping (outstanding producers, completion state).
 
     Attributes:
         tid: Hardware thread (context) id.
         seq: Per-thread monotonically increasing fetch sequence number.
         static: The static instruction this instance executes.
-        pc: Fetch address (equals ``static.addr``).
+        pc: Fetch address (a property; equals ``static.addr``).
+        op: ``int(static.opclass)`` — the hot paths index
+            latency/queue tables and compare classes with this plain
+            int (IntEnum indexing and equality are measurably slower
+            per-operation); ``opclass`` is a convenience property.
         on_correct_path: False once the thread's front-end has diverged.
         pred_taken / pred_target: Prediction attached by the fetch engine
             (``False``/``0`` for instructions predicted fall-through).
@@ -130,21 +140,30 @@ class DynInst:
         mem_addr: Effective address for loads and stores, ``0`` otherwise.
         request: The fetch request that materialised the instruction
             (holds front-end repair checkpoints).
+        pending: Outstanding (uncompleted) producer count, set at
+            dispatch and decremented at writeback; ``0`` means every
+            source is available, so the instruction is issue-ready.
+        waiters: Dispatched dependents to wake when this instruction
+            completes (lazily created; ``None`` while empty).
+        age: Global dispatch stamp; orders issue-queue entries.
     """
 
-    __slots__ = ("tid", "seq", "static", "pc",
+    __slots__ = ("tid", "seq", "static", "op",
                  "on_correct_path", "pred_taken", "pred_target",
                  "actual_taken", "actual_target", "diverges",
                  "resolve_at_decode", "mem_addr", "request",
-                 "producers", "issued", "completed", "squashed",
-                 "fetch_cycle", "complete_cycle")
+                 "pending", "waiters", "age",
+                 "issued", "completed", "squashed", "fetch_cycle")
 
+    # NOTE: the fetch unit's `materialize` closure inlines this
+    # constructor (repro/frontend/fetch_unit.py) — keep the two field
+    # lists in sync when adding or removing slots.
     def __init__(self, tid: int, seq: int, static: StaticInstruction,
                  fetch_cycle: int = 0) -> None:
         self.tid = tid
         self.seq = seq
         self.static = static
-        self.pc = static.addr
+        self.op = static.op
         self.on_correct_path = True
         self.pred_taken = False
         self.pred_target = 0
@@ -154,30 +173,37 @@ class DynInst:
         self.resolve_at_decode = False
         self.mem_addr = 0
         self.request = None
-        self.producers = ()
+        self.pending = 0
+        self.waiters = None
+        self.age = -1
         self.issued = False
         self.completed = False
         self.squashed = False
         self.fetch_cycle = fetch_cycle
-        self.complete_cycle = -1
 
     @property
-    def is_branch(self) -> bool:
-        """True for any control-flow instruction."""
-        return self.static.kind != BranchKind.NOT_BRANCH
+    def pc(self) -> int:
+        """Fetch address (``static.addr``; kept as a property so the
+        hot constructor path stores one field fewer)."""
+        return self.static.addr
 
     @property
     def opclass(self) -> InstrClass:
         """Functional class of the underlying static instruction."""
         return self.static.opclass
 
+    @property
+    def is_branch(self) -> bool:
+        """True for any control-flow instruction."""
+        return self.static.kind != BranchKind.NOT_BRANCH
+
     def next_pc_actual(self) -> int:
         """Architectural next PC (only valid for correct-path instances)."""
         if self.actual_taken:
             return self.actual_target
-        return self.pc + INSTR_BYTES
+        return self.static.addr + INSTR_BYTES
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         path = "ok" if self.on_correct_path else "wrong"
-        return (f"DynInst(t{self.tid} seq={self.seq} pc={self.pc:#x} "
+        return (f"DynInst(t{self.tid} seq={self.seq} pc={self.static.addr:#x} "
                 f"{self.static.opclass.name} {path})")

@@ -59,8 +59,10 @@ class Cache:
 
     def probe(self, addr: int, asid: int) -> bool:
         """Look up the line holding ``addr``; updates LRU and stats."""
-        index, key = self._key(addr, asid)
-        lines = self._sets[index]
+        # `_key` inlined: probe runs for every fetch and data access.
+        line = addr >> self._line_shift
+        lines = self._sets[(line ^ (asid * 0x9E37)) & self._set_mask]
+        key = line * _MAX_ASID + asid
         try:
             pos = lines.index(key)
         except ValueError:
@@ -73,8 +75,9 @@ class Cache:
 
     def fill(self, addr: int, asid: int) -> None:
         """Install the line holding ``addr`` (evicting LRU if needed)."""
-        index, key = self._key(addr, asid)
-        lines = self._sets[index]
+        line = addr >> self._line_shift
+        lines = self._sets[(line ^ (asid * 0x9E37)) & self._set_mask]
+        key = line * _MAX_ASID + asid
         if key in lines:
             lines.remove(key)
         lines.insert(0, key)

@@ -23,7 +23,13 @@ from repro.memory.tlb import Tlb
 
 
 class AccessResult:
-    """Outcome of an instruction-side access."""
+    """Outcome of an instruction-side access.
+
+    .. warning:: :meth:`MemoryHierarchy.ifetch` returns a *shared,
+       reused* instance for penalty-free hits (the overwhelmingly
+       common case) — consume ``hit``/``ready_cycle`` before issuing
+       the next access instead of storing the object.
+    """
 
     __slots__ = ("hit", "ready_cycle")
 
@@ -54,32 +60,171 @@ class MemoryHierarchy:
         self.l2_latency = l2_latency
         self.memory_latency = memory_latency
         self._line_shift = line_bytes.bit_length() - 1
+        self._build_fast_paths()
 
-    def ifetch(self, asid: int, addr: int, cycle: int) -> AccessResult:
-        """Instruction-side access for the line holding ``addr``."""
-        penalty = self.itlb.access(addr, asid)
-        if self.l1i.probe(addr, asid):
-            return AccessResult(penalty == 0, cycle + penalty)
-        latency = penalty + self._miss_to_l2(addr, asid)
-        self.l1i.fill(addr, asid)
-        self._next_line_prefetch(self.l1i, addr, asid)
-        return AccessResult(False, cycle + latency)
+    def _build_fast_paths(self) -> None:
+        """Compile ``ifetch``/``dread`` as closures for this hierarchy.
 
-    def dread(self, asid: int, addr: int, cycle: int) -> int | None:
-        """Data read; returns latency in cycles, or None if MSHRs full."""
-        penalty = self.dtlb.access(addr, asid)
-        if self.l1d.probe(addr, asid):
-            return self.l1_latency + penalty
-        fill_latency = self._miss_to_l2(addr, asid)
-        ready = self.dmshr.request(asid, addr >> self._line_shift, cycle,
-                                   cycle + penalty + fill_latency)
-        if ready is None:
-            # No MSHR: undo nothing (L2 state already touched is
-            # acceptable — the replayed access will hit L2).
-            return None
-        self.l1d.fill(addr, asid)
-        self._next_line_prefetch(self.l1d, addr, asid)
-        return max(ready - cycle, self.l1_latency)
+        These run once or twice every simulated cycle; the TLB-hit and
+        L1-hit fast paths are inlined (the component methods remain the
+        reference implementation for every other caller).  Captured
+        structures (cache sets, TLB order dicts) are identity-stable —
+        mutated in place, never rebound.  ``ifetch`` returns a shared
+        :class:`AccessResult` on the common penalty-free hit; callers
+        consume the result before the next access (the fetch stage and
+        the tests both do), so the reuse is safe and saves an
+        allocation per fetch cycle.
+        """
+        itlb = self.itlb
+        itlb_order = itlb._order
+        itlb_move = itlb_order.move_to_end
+        itlb_pop = itlb_order.popitem
+        itlb_shift = itlb._page_shift
+        itlb_entries = itlb.entries
+        itlb_penalty = itlb.miss_penalty
+        dtlb = self.dtlb
+        dtlb_order = dtlb._order
+        dtlb_move = dtlb_order.move_to_end
+        dtlb_pop = dtlb_order.popitem
+        dtlb_shift = dtlb._page_shift
+        dtlb_entries = dtlb.entries
+        dtlb_penalty = dtlb.miss_penalty
+        l1i = self.l1i
+        l1i_sets = l1i._sets
+        l1i_shift = l1i._line_shift
+        l1i_mask = l1i._set_mask
+        l1d = self.l1d
+        l1d_sets = l1d._sets
+        l1d_shift = l1d._line_shift
+        l1d_mask = l1d._set_mask
+        mshr_request = self.dmshr.request
+        line_shift = self._line_shift
+        l1_latency = self.l1_latency
+        miss_to_l2 = self._miss_to_l2
+        next_line_prefetch = self._next_line_prefetch
+        access_result = AccessResult
+        hit_result = AccessResult(True, 0)
+        # Same-key TLB filters: when an access repeats the immediately
+        # preceding (asid, page) of its TLB, that entry is already MRU
+        # — the hit can be counted without the dict membership test or
+        # the (idempotent) move_to_end.  Bit-identical by construction.
+        itlb_last = [-1, -1]
+        dtlb_last = [-1, -1]
+
+        def ifetch(asid: int, addr: int, cycle: int) -> AccessResult:
+            """Instruction-side access for the line holding ``addr``."""
+            page = addr >> itlb_shift
+            if itlb_last[0] == page and itlb_last[1] == asid:
+                itlb.hits += 1
+                penalty = 0
+            else:
+                key = (asid, page)
+                if key in itlb_order:   # inlined Tlb.access hit path
+                    itlb_move(key)
+                    itlb.hits += 1
+                    penalty = 0
+                else:
+                    itlb.misses += 1
+                    itlb_order[key] = None
+                    if len(itlb_order) > itlb_entries:
+                        itlb_pop(last=False)
+                    penalty = itlb_penalty
+                itlb_last[0] = page
+                itlb_last[1] = asid
+            line = addr >> l1i_shift    # inlined Cache.probe
+            lines = l1i_sets[(line ^ (asid * 0x9E37)) & l1i_mask]
+            line_key = line * 64 + asid
+            try:
+                pos = lines.index(line_key)
+            except ValueError:
+                l1i.misses += 1
+                latency = penalty + miss_to_l2(addr, asid)
+                l1i.fill(addr, asid)
+                next_line_prefetch(l1i, addr, asid)
+                return access_result(False, cycle + latency)
+            if pos:
+                lines.insert(0, lines.pop(pos))
+            l1i.hits += 1
+            if penalty:
+                return access_result(False, cycle + penalty)
+            hit_result.ready_cycle = cycle
+            return hit_result
+
+        def dread(asid: int, addr: int, cycle: int) -> int | None:
+            """Data read; returns latency, or None when MSHRs are full."""
+            page = addr >> dtlb_shift
+            if dtlb_last[0] == page and dtlb_last[1] == asid:
+                dtlb.hits += 1
+                penalty = 0
+            else:
+                key = (asid, page)
+                if key in dtlb_order:   # inlined Tlb.access hit path
+                    dtlb_move(key)
+                    dtlb.hits += 1
+                    penalty = 0
+                else:
+                    dtlb.misses += 1
+                    dtlb_order[key] = None
+                    if len(dtlb_order) > dtlb_entries:
+                        dtlb_pop(last=False)
+                    penalty = dtlb_penalty
+                dtlb_last[0] = page
+                dtlb_last[1] = asid
+            line = addr >> l1d_shift    # inlined Cache.probe; `in`
+            lines = l1d_sets[(line ^ (asid * 0x9E37)) & l1d_mask]
+            line_key = line * 64 + asid  # avoids raising on the misses
+            if line_key in lines:        # MEM workloads produce often
+                pos = lines.index(line_key)
+                if pos:
+                    lines.insert(0, lines.pop(pos))
+                l1d.hits += 1
+                return l1_latency + penalty
+            l1d.misses += 1
+            fill_latency = miss_to_l2(addr, asid)
+            ready = mshr_request(asid, addr >> line_shift, cycle,
+                                 cycle + penalty + fill_latency)
+            if ready is None:
+                # No MSHR: undo nothing (L2 state already touched is
+                # fine — the replayed access will hit L2).
+                return None
+            l1d.fill(addr, asid)
+            next_line_prefetch(l1d, addr, asid)
+            delay = ready - cycle
+            return delay if delay > l1_latency else l1_latency
+
+        def dwrite(asid: int, addr: int, cycle: int) -> None:
+            """Data write: write-allocate through a non-blocking buffer."""
+            page = addr >> dtlb_shift
+            if dtlb_last[0] == page and dtlb_last[1] == asid:
+                dtlb.hits += 1
+            else:
+                key = (asid, page)
+                if key in dtlb_order:   # inlined Tlb.access
+                    dtlb_move(key)
+                    dtlb.hits += 1
+                else:
+                    dtlb.misses += 1
+                    dtlb_order[key] = None
+                    if len(dtlb_order) > dtlb_entries:
+                        dtlb_pop(last=False)
+                dtlb_last[0] = page
+                dtlb_last[1] = asid
+            line = addr >> l1d_shift    # inlined Cache.probe
+            lines = l1d_sets[(line ^ (asid * 0x9E37)) & l1d_mask]
+            line_key = line * 64 + asid
+            if line_key in lines:
+                pos = lines.index(line_key)
+                if pos:
+                    lines.insert(0, lines.pop(pos))
+                l1d.hits += 1
+                return
+            l1d.misses += 1
+            miss_to_l2(addr, asid)
+            l1d.fill(addr, asid)
+
+        self.ifetch = ifetch
+        self.dread = dread
+        self.dwrite = dwrite
 
     def _next_line_prefetch(self, cache: Cache, addr: int,
                             asid: int) -> None:
@@ -95,13 +240,6 @@ class MemoryHierarchy:
         if not self.l2.probe(next_addr, asid):
             self.l2.fill(next_addr, asid)
         cache.fill(next_addr, asid)
-
-    def dwrite(self, asid: int, addr: int, cycle: int) -> None:
-        """Data write: write-allocate through a non-blocking write buffer."""
-        self.dtlb.access(addr, asid)
-        if not self.l1d.probe(addr, asid):
-            self._miss_to_l2(addr, asid)
-            self.l1d.fill(addr, asid)
 
     def ibank_of(self, addr: int, asid: int = 0) -> int:
         """I-cache bank servicing ``addr`` (for 2.X conflict logic)."""

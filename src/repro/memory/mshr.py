@@ -13,22 +13,30 @@ from __future__ import annotations
 class MshrFile:
     """Fixed-capacity file of outstanding line misses."""
 
-    __slots__ = ("capacity", "_entries", "coalesced", "rejections")
+    __slots__ = ("capacity", "_entries", "_earliest", "coalesced",
+                 "rejections")
+
+    _NEVER = 1 << 62                # sentinel: no entry due
 
     def __init__(self, capacity: int = 8) -> None:
         if capacity < 1:
             raise ValueError(f"MSHR capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: dict[tuple[int, int], int] = {}
+        self._earliest = self._NEVER
         self.coalesced = 0
         self.rejections = 0
 
     def _prune(self, cycle: int) -> None:
-        if self._entries:
-            done = [key for key, ready in self._entries.items()
-                    if ready <= cycle]
-            for key in done:
-                del self._entries[key]
+        # `_earliest` tracks min(ready) over in-flight entries, so the
+        # common nothing-due call is one integer compare.
+        if cycle < self._earliest:
+            return
+        entries = self._entries
+        done = [key for key, ready in entries.items() if ready <= cycle]
+        for key in done:
+            del entries[key]
+        self._earliest = min(entries.values(), default=self._NEVER)
 
     def request(self, asid: int, line: int, cycle: int,
                 ready_cycle: int) -> int | None:
@@ -47,6 +55,8 @@ class MshrFile:
             self.rejections += 1
             return None
         self._entries[key] = ready_cycle
+        if ready_cycle < self._earliest:
+            self._earliest = ready_cycle
         return ready_cycle
 
     def outstanding(self, cycle: int) -> int:

@@ -8,6 +8,8 @@ we use 30 cycles, see DESIGN.md).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 DEFAULT_PAGE_BYTES = 8192
 DEFAULT_MISS_PENALTY = 30
 
@@ -26,24 +28,25 @@ class Tlb:
         self.page_bytes = page_bytes
         self.miss_penalty = miss_penalty
         self._page_shift = page_bytes.bit_length() - 1
-        # dict preserves insertion order: oldest first, MRU re-appended.
-        self._order: dict[tuple[int, int], None] = {}
+        # Insertion order is LRU order: oldest first, MRU re-appended.
+        # OrderedDict for its C-implemented move_to_end/popitem — this
+        # runs for every instruction fetch and data access.
+        self._order: OrderedDict[tuple[int, int], None] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def access(self, addr: int, asid: int) -> int:
         """Translate; returns the added latency (0 on hit)."""
+        order = self._order
         key = (asid, addr >> self._page_shift)
-        if key in self._order:
-            del self._order[key]
-            self._order[key] = None
+        if key in order:
+            order.move_to_end(key)
             self.hits += 1
             return 0
         self.misses += 1
-        self._order[key] = None
-        if len(self._order) > self.entries:
-            oldest = next(iter(self._order))
-            del self._order[oldest]
+        order[key] = None
+        if len(order) > self.entries:
+            order.popitem(last=False)
         return self.miss_penalty
 
     def reset_stats(self) -> None:

@@ -1,0 +1,30 @@
+"""Simulator-throughput measurement (how fast the simulator itself runs).
+
+Everything else in the repo measures the *simulated machine* (IPC,
+IPFC); this package measures the *simulator* — kilo-cycles and
+kilo-committed-instructions per wall-clock second over a representative
+(workload x engine x policy) grid — so that hot-path optimisations are
+driven by data and regressions are caught by CI instead of being
+discovered as mysteriously slow sweeps.  See ``scripts/bench_speed.py``
+for the CLI and ``BENCH_speed.json`` for the tracked trajectory.
+"""
+
+from repro.perf.bench import (
+    BENCH_GRID,
+    QUICK_GRID,
+    BenchCell,
+    geomean,
+    measure_cell,
+    run_bench,
+    speedup_vs,
+)
+
+__all__ = [
+    "BENCH_GRID",
+    "QUICK_GRID",
+    "BenchCell",
+    "geomean",
+    "measure_cell",
+    "run_bench",
+    "speedup_vs",
+]

@@ -1,0 +1,35 @@
+"""Shared ``--profile`` plumbing for the CLIs.
+
+Perf work starts from data: both ``scripts/run_experiments.py`` and
+``scripts/run_sweep.py`` expose a ``--profile`` flag that wraps the
+whole run in :mod:`cProfile` and prints the hottest entries.  The
+wrapper lives here so the two CLIs cannot drift.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+
+PROFILE_TOP = 25
+"""Entries printed from the cumulative-time ranking."""
+
+
+def maybe_profiled(fn, enabled: bool, stream=None):
+    """Run ``fn()``; under ``enabled``, profile it and print the top.
+
+    The profile is printed even when ``fn`` raises, so a slow run that
+    dies late still yields its data.
+    """
+    if not enabled:
+        return fn()
+    stream = stream if stream is not None else sys.stderr
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        pstats.Stats(profiler, stream=stream) \
+            .sort_stats("cumulative").print_stats(PROFILE_TOP)

@@ -16,19 +16,56 @@ ICOUNT accounting: a thread's count rises when instructions enter the
 fetch buffer and falls at issue (or at squash for pre-issue
 instructions) — instructions "in the decode, rename and dispatch stages"
 plus queued ones, per Tullsen's definition as used by the paper.
+
+Hot-path design (this loop dominates every experiment's wall-clock):
+
+* **Event-wheel writeback** — in-flight completions live in a
+  fixed-size wheel of per-cycle buckets indexed by ``cycle & mask``
+  instead of a dict keyed by absolute cycle.  The issue stage inserts
+  each instruction seq-ordered into its bucket (cheap: buckets hold a
+  handful of entries), so writeback drains an already-sorted list with
+  no per-cycle ``sort``.  Latencies beyond the wheel span (possible
+  only through MSHR queuing) spill to an overflow dict.
+* **Ready-count wakeup** — every dispatched instruction carries the
+  count of its uncompleted producers (``DynInst.pending``); completing
+  instructions decrement their registered ``waiters`` and hand newly
+  ready ones to the issue queues' ready lists.  The issue stage
+  therefore examines only ready instructions, never scanning waiting
+  queue entries.
+* **Closure-specialised stages** — :meth:`SmtCore._build_cycle_loop`
+  compiles the per-cycle stages into closures once per core, capturing
+  every *identity-stable* structure (queues, ready lists, the wheel,
+  latches, register pools, bound memory/engine methods) as free
+  variables.  The steady state then runs on local/closure loads with
+  zero per-cycle rebinding, no intermediate allocations (scratch
+  buffers are reused) and the resource-model methods inlined.  The
+  identity-stability contract: captured lists/deques/dicts are only
+  ever mutated in place (``lst[:] = ...``, ``clear``), never rebound;
+  ``self.stats`` is the one object replaced at runtime
+  (:meth:`reset_stats`), so closures re-read it per call.
+
+All of it is behaviour-preserving by contract: the golden-parity suite
+(``tests/perf/test_golden_parity.py``) pins bit-identical
+``SimResult``s across a (workload, engine, policy, seed) grid.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import attrgetter
 
 from repro.frontend.fetch_unit import FetchUnit
-from repro.isa.instruction import BranchKind, DynInst, InstrClass, \
-    execution_latency
+from repro.isa.instruction import LATENCY_TABLE, DynInst, InstrClass
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.pipeline.resources import FunctionalUnits, InstructionQueues, \
-    PhysicalRegisters, ReorderBuffer
+from repro.pipeline.resources import QUEUE_TABLE, FunctionalUnits, \
+    InstructionQueues, PhysicalRegisters, ReorderBuffer
 from repro.trace.context import ThreadContext
+
+_WHEEL_SIZE = 512
+"""Event-wheel span in cycles (power of two; > L1+L2+memory+TLB-walk
+latency, so only MSHR-queued stragglers ever reach the overflow dict)."""
+
+_SEQ_KEY = attrgetter("seq")
 
 
 class DeadlockError(RuntimeError):
@@ -55,7 +92,7 @@ class CoreParams:
     watchdog_cycles: int = 50_000
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Back-end counters accumulated over a run."""
 
@@ -87,7 +124,12 @@ class CoreStats:
 
 
 class SmtCore:
-    """Out-of-order SMT execution core around a decoupled front-end."""
+    """Out-of-order SMT execution core around a decoupled front-end.
+
+    ``tick`` is a closure built by :meth:`_build_cycle_loop` fusing
+    all six back-end stages; see the module docstring for the
+    specialisation contract.
+    """
 
     def __init__(self, fetch_unit: FetchUnit, memory: MemoryHierarchy,
                  contexts: list[ThreadContext],
@@ -109,11 +151,20 @@ class SmtCore:
         self.rename_latch: list[DynInst] = []
         self.rename_map: list[dict[int, DynInst | None]] = \
             [dict() for _ in range(n)]
-        self.completions: dict[int, list[DynInst]] = {}
+        # Event wheel: bucket b holds the instructions completing at the
+        # cycle whose low bits are b, each bucket seq-ordered.
+        self._wheel: list[list[DynInst]] = \
+            [[] for _ in range(_WHEEL_SIZE)]
+        self._wheel_mask = _WHEEL_SIZE - 1
+        self._overflow: dict[int, list[DynInst]] = {}
+        # Scratch buffers reused every cycle (never reallocated).
+        self._kept_scratch: list[DynInst] = []
+        self._issued_scratch: list[int] = []
         self.cycle = 0
         self._age = 0
         self._last_commit_cycle = 0
         self.stats = CoreStats(committed_by_thread=[0] * n)
+        self._build_cycle_loop()
 
     def reset_stats(self) -> None:
         """Fresh back-end counters; pipeline state is untouched."""
@@ -127,197 +178,402 @@ class SmtCore:
     def run(self, max_cycles: int,
             max_instructions: int | None = None) -> CoreStats:
         """Simulate until a cycle or committed-instruction budget."""
-        target = self.cycle + max_cycles
-        while self.cycle < target:
-            if max_instructions is not None \
-                    and self.stats.committed >= max_instructions:
-                break
-            self.tick()
+        self._run_fast(max_cycles, max_instructions)
         return self.stats
 
-    def tick(self) -> None:
-        """Advance the machine by one cycle."""
-        cycle = self.cycle
-        self._commit_stage(cycle)
-        self._writeback_stage(cycle)
-        self._issue_stage(cycle)
-        self._dispatch_stage(cycle)
-        self._rename_stage(cycle)
-        self._decode_stage(cycle)
-        self.fetch_unit.fetch_stage(cycle)
-        self.fetch_unit.predict_stage(cycle)
-        self.stats.cycles += 1
-        self.stats.rob_occupancy_sum += self.rob.size
-        self.stats.iq_occupancy_sum += self.iqs.occupancy()
-        if cycle - self._last_commit_cycle > self.params.watchdog_cycles:
-            raise DeadlockError(
-                f"no commit for {self.params.watchdog_cycles} cycles "
-                f"(cycle {cycle})")
-        self.cycle = cycle + 1
-
     # ------------------------------------------------------------------
-    # back-end stages
+    # the compiled cycle loop
     # ------------------------------------------------------------------
 
-    def _commit_stage(self, cycle: int) -> None:
-        width = self.params.commit_width
-        n = len(self.contexts)
-        start = cycle % n
-        committed = 0
-        for k in range(n):
-            tid = (start + k) % n
-            while committed < width:
-                head = self.rob.head(tid)
-                if head is None or not head.completed:
-                    break
-                self.rob.pop_head(tid)
-                self.regs.release(head)
-                committed += 1
-                self.stats.committed += 1
-                self.stats.committed_by_thread[tid] += 1
-                if not head.on_correct_path:
-                    # Cannot happen: wrong-path instructions are always
-                    # squashed before their thread's divergence commits.
-                    self.stats.wrong_path_committed += 1
-                self.engine.commit(head)
-            if committed >= width:
-                break
-        if committed:
-            self._last_commit_cycle = cycle
+    def _build_cycle_loop(self) -> None:
+        """Specialise the per-cycle loop for this core instance.
 
-    def _writeback_stage(self, cycle: int) -> None:
-        done = self.completions.pop(cycle, None)
-        if not done:
-            return
-        done.sort(key=lambda di: di.seq)
-        for di in done:
-            if di.squashed:
-                continue
-            di.completed = True
-            di.complete_cycle = cycle
-            if di.is_branch and di.on_correct_path:
-                self.engine.resolve_branch(di)
-                if di.diverges:
-                    self._squash_from(di)
-                    self.stats.squashes += 1
-
-    def _issue_stage(self, cycle: int) -> None:
-        self.fus.new_cycle()
-        budget = self.params.issue_width
-        for queue in self.iqs.queues:
-            if budget <= 0:
-                break
-            # Entries are age-ordered by construction (monotonic dispatch
-            # stamps; squash removal preserves relative order).
-            issued_here: list[int] = []
-            for pos, (age, di) in enumerate(queue):
-                if budget <= 0:
-                    break
-                if not all(p.completed for p in di.producers):
-                    continue
-                if not self.fus.try_take(di.opclass):
-                    break               # no unit left for this class
-                latency = self._execution_latency(di, cycle)
-                if latency is None:     # load without an MSHR: replay
-                    continue
-                di.issued = True
-                # Full bypass network: results forward to dependents at
-                # `latency`; the register-read stage affects the
-                # pipeline's refill depth, not dependent chains.
-                ready_at = cycle + latency
-                self.completions.setdefault(ready_at, []).append(di)
-                self.icounts[di.tid] -= 1
-                issued_here.append(pos)
-                budget -= 1
-                self.stats.issued += 1
-            for pos in reversed(issued_here):
-                queue.pop(pos)
-
-    def _execution_latency(self, di: DynInst, cycle: int) -> int | None:
-        base = execution_latency(di.opclass)
-        if di.opclass == InstrClass.LOAD:
-            dcache = self.memory.dread(di.tid, di.mem_addr, cycle)
-            if dcache is None:
-                return None
-            return base + dcache
-        if di.opclass == InstrClass.STORE:
-            self.memory.dwrite(di.tid, di.mem_addr, cycle)
-        return base
-
-    def _dispatch_stage(self, cycle: int) -> None:
-        """Rename-latch to IQ/ROB, in order *per thread*.
-
-        A thread whose queue/registers are exhausted blocks only itself;
-        other threads' instructions slip past (per-thread skid
-        behaviour).  The shared-capacity clog still operates through IQ
-        entries, registers and ROB slots the stalled thread occupies.
+        Every structure captured below is identity-stable for the
+        core's lifetime (mutated in place, never rebound); the only
+        runtime-replaced object, ``self.stats``, is re-read per call.
+        The resulting ``tick`` closure is the sole implementation of
+        the back-end stages.
         """
-        latch = self.rename_latch
-        if not latch:
-            return
-        blocked: set[int] = set()
-        kept: list[DynInst] = []
-        dispatched = 0
-        width = self.params.decode_width
-        for pos, di in enumerate(latch):
-            if dispatched >= width:
-                kept.extend(latch[pos:])
-                break
-            if di.tid in blocked:
-                kept.append(di)
-                continue
-            if self.rob.full:
-                self.stats.dispatch_stalls += 1
-                kept.extend(latch[pos:])
-                break
-            if not self.iqs.has_space(di.opclass) \
-                    or not self.regs.available(di):
-                self.stats.dispatch_stalls += 1
-                blocked.add(di.tid)
-                kept.append(di)
-                continue
-            self.regs.allocate(di)
-            di.producers = self._resolve_producers(di)
-            if di.static.dest >= 0:
-                self.rename_map[di.tid][di.static.dest] = di
-            self.rob.push(di)
-            self.iqs.insert(self._age, di)
-            self._age += 1
-            dispatched += 1
-        latch[:] = kept
+        params = self.params
+        n_threads = len(self.contexts)
+        commit_width = params.commit_width
+        decode_width = params.decode_width
+        double_decode_width = 2 * params.decode_width
+        issue_width = params.issue_width
+        watchdog = params.watchdog_cycles
+        rob = self.rob
+        rob_lists = rob.lists
+        rob_capacity = rob.capacity
+        regs = self.regs
+        iqs = self.iqs
+        queues = iqs.queues
+        q0, q1, q2 = queues
+        iq_caps = iqs.capacity
+        ready_lists = iqs.ready
+        fu_counts = self.fus.counts
+        fu_free = self.fus._free
+        wheel = self._wheel
+        wheel_mask = self._wheel_mask
+        overflow = self._overflow
+        icounts = self.icounts
+        rename_map = self.rename_map
+        decode_latch = self.decode_latch
+        rename_latch = self.rename_latch
+        kept_scratch = self._kept_scratch
+        issued_scratch = self._issued_scratch
+        engine_resolve = self.engine.resolve_branch
+        # Engines without commit-side training advertise it, so the
+        # commit loop can skip a no-op call per committed instruction.
+        engine_commit = self.engine.commit \
+            if self.engine.commit_training else None
+        dread = self.memory.dread
+        dwrite = self.memory.dwrite
+        fetch_buffer = self.fetch_unit.fetch_buffer
+        fetch_stage = self.fetch_unit.fetch_stage
+        predict_stage = self.fetch_unit.predict_stage
+        decode_append = decode_latch.append
+        latency_table = LATENCY_TABLE
+        queue_table = QUEUE_TABLE
+        op_load = int(InstrClass.LOAD)
+        op_store = int(InstrClass.STORE)
+        op_fp = int(InstrClass.FP_ALU)
+        thread_range = range(n_threads)
 
-    def _resolve_producers(self, di: DynInst) -> tuple[DynInst, ...]:
-        rmap = self.rename_map[di.tid]
-        producers = []
-        for src in di.static.srcs:
-            producer = rmap.get(src)
-            if producer is not None and not producer.completed \
-                    and not producer.squashed:
-                producers.append(producer)
-        return tuple(producers)
+        def run_fast(max_cycles: int,
+                     max_instructions: int | None = None) -> None:
+            """Run the whole cycle loop for up to ``max_cycles``.
 
-    def _rename_stage(self, cycle: int) -> None:
-        width = self.params.decode_width
-        space = 2 * width - len(self.rename_latch)
-        move = min(space, width, len(self.decode_latch))
-        if move > 0:
-            self.rename_latch.extend(self.decode_latch[:move])
-            del self.decode_latch[:move]
+            All six back-end stages are fused inline: at steady state
+            they execute every cycle, and fusing them shares the
+            cycle/stats locals and removes six call frames per cycle.
+            ``cycle`` and the last-commit watchdog mark are carried in
+            locals across the entire call and written back on every
+            exit path, so the loop itself touches no instance
+            attributes.  Section comments mark the stage boundaries;
+            processing is reverse pipeline order, as documented in the
+            module docstring.
+            """
+            cycle = self.cycle
+            stats = self.stats
+            by_thread = stats.committed_by_thread
+            iq_total = len(q0) + len(q1) + len(q2)
+            stat_cycles = stats.cycles
+            stat_committed = stats.committed
+            stat_issued = stats.issued
+            stat_rob_occ = stats.rob_occupancy_sum
+            stat_iq_occ = stats.iq_occupancy_sum
+            last_commit = self._last_commit_cycle
+            target = cycle + max_cycles
+            try:
+                while cycle < target:
+                    if max_instructions is not None \
+                            and stat_committed >= max_instructions:
+                        break
 
-    def _decode_stage(self, cycle: int) -> None:
-        buffer = self.fetch_unit.fetch_buffer
-        width = self.params.decode_width
-        while buffer and len(self.decode_latch) < width:
-            di = buffer.popleft()
-            self.decode_latch.append(di)
-            if di.on_correct_path and di.diverges and di.resolve_at_decode:
-                # Misfetched direct jump/call: the target is known at
-                # decode — redirect immediately, drop the wrong path.
-                self._redirect_at_decode(di)
-                break
+                    # ---------------- commit stage ----------------
+                    if rob.size:
+                        start = cycle % n_threads
+                        committed = 0
+                        for k in thread_range:
+                            tid = start + k
+                            if tid >= n_threads:
+                                tid -= n_threads
+                            lst = rob_lists[tid]
+                            here = 0
+                            while committed < commit_width and lst:
+                                head = lst[0]
+                                if not head.completed:
+                                    break
+                                lst.popleft()
+                                # Inlined PhysicalRegisters.release.
+                                if head.static.dest >= 0:
+                                    if head.op == op_fp:
+                                        regs.free_fp += 1
+                                    else:
+                                        regs.free_int += 1
+                                committed += 1
+                                here += 1
+                                if not head.on_correct_path:
+                                    # Cannot happen: wrong-path instructions
+                                    # are always squashed before their
+                                    # thread's divergence commits.
+                                    stats.wrong_path_committed += 1
+                                if engine_commit is not None:
+                                    engine_commit(head)
+                            if here:
+                                by_thread[tid] += here
+                            if committed >= commit_width:
+                                break
+                        if committed:
+                            rob.size -= committed
+                            stat_committed += committed
+                            last_commit = cycle
+
+                    # ---------------- writeback stage ----------------
+                    done = wheel[cycle & wheel_mask]
+                    if overflow:
+                        spilled = overflow.pop(cycle, None)
+                        if spilled:
+                            # Rare (latency beyond the wheel span): merge and
+                            # re-sort.  Spills predate every wheel insertion
+                            # for this cycle, so a stable sort of
+                            # (spilled + bucket) reproduces the old
+                            # insertion-ordered sort exactly.
+                            spilled.extend(done)
+                            spilled.sort(key=_SEQ_KEY)
+                            done = spilled
+                            wheel[cycle & wheel_mask] = []
+                    if done:
+                        for di in done:
+                            if di.squashed:
+                                continue
+                            di.completed = True
+                            waiters = di.waiters
+                            if waiters is not None:
+                                for w in waiters:
+                                    pending = w.pending - 1
+                                    w.pending = pending
+                                    if pending == 0 and not w.squashed:
+                                        # Inlined InstructionQueues.wake.
+                                        ready = ready_lists[queue_table[w.op]]
+                                        age = w.age
+                                        if ready and ready[-1].age > age:
+                                            i = len(ready) - 1
+                                            while i >= 0 and ready[i].age > age:
+                                                i -= 1
+                                            ready.insert(i + 1, w)
+                                        else:
+                                            ready.append(w)
+                            # `di.static.kind` is truthy exactly for branches
+                            # (NOT_BRANCH == 0) — the inlined `di.is_branch`.
+                            if di.static.kind and di.on_correct_path:
+                                engine_resolve(di)
+                                if di.diverges:
+                                    self._squash_from(di)
+                                    stats.squashes += 1
+                                    iq_total = len(q0) + len(q1) \
+                                        + len(q2)
+                        del done[:]
+
+                    # ---------------- issue stage ----------------
+                    # Inlined FunctionalUnits.new_cycle.
+                    fu_free[0], fu_free[1], fu_free[2] = fu_counts
+                    budget = issue_width
+                    issued_total = 0
+                    for q in (0, 1, 2):
+                        if budget <= 0:
+                            break
+                        ready = ready_lists[q]
+                        if not ready:
+                            continue
+                        nfree = fu_free[q]
+                        queue = queues[q]
+                        del issued_scratch[:]
+                        # Ready lists are age-ordered by construction
+                        # (monotonic dispatch stamps; wake() inserts by age;
+                        # squash removal preserves relative order): this is
+                        # oldest-first issue over exactly the ready entries.
+                        for pos, di in enumerate(ready):
+                            if budget <= 0 or nfree <= 0:
+                                break           # width or unit budget spent
+                            nfree -= 1          # claimed even if the access
+                            op = di.op          # replays, matching the old
+                            latency = latency_table[op]     # try_take-then-
+                            if op == op_load:               # replay order
+                                dcache = dread(di.tid, di.mem_addr, cycle)
+                                if dcache is None:
+                                    continue    # load without an MSHR: replay
+                                latency += dcache
+                            elif op == op_store:
+                                dwrite(di.tid, di.mem_addr, cycle)
+                            di.issued = True
+                            # Full bypass network: results forward to
+                            # dependents at `latency`; the register-read
+                            # stage affects refill depth, not chains.
+                            ready_at = cycle + latency
+                            if latency < _WHEEL_SIZE:
+                                bucket = wheel[ready_at & wheel_mask]
+                                seq = di.seq
+                                if bucket and bucket[-1].seq > seq:
+                                    # Keep the bucket seq-ordered (right
+                                    # insertion matches the old stable sort).
+                                    i = len(bucket) - 1
+                                    while i >= 0 and bucket[i].seq > seq:
+                                        i -= 1
+                                    bucket.insert(i + 1, di)
+                                else:
+                                    bucket.append(di)
+                            else:
+                                overflow.setdefault(ready_at, []).append(di)
+                            icounts[di.tid] -= 1
+                            del queue[di]
+                            iq_total -= 1
+                            issued_scratch.append(pos)
+                            budget -= 1
+                            issued_total += 1
+                        fu_free[q] = nfree
+                        m = len(issued_scratch)
+                        if m:
+                            if issued_scratch[m - 1] == m - 1:
+                                # Issued entries form a prefix (no replayed
+                                # load interleaved): one bulk delete.
+                                del ready[:m]
+                            else:
+                                for pos in reversed(issued_scratch):
+                                    ready.pop(pos)
+                    if issued_total:
+                        stat_issued += issued_total
+
+                    # ---------------- dispatch stage ----------------
+                    # Rename-latch to IQ/ROB, in order *per thread*: a thread
+                    # whose queue/registers are exhausted blocks only itself
+                    # (per-thread skid); the shared-capacity clog still
+                    # operates through the IQ entries, registers and ROB
+                    # slots the stalled thread occupies.  The resource-model
+                    # methods (queue_of/has_space/insert/available/allocate/
+                    # push) are inlined.
+                    latch = rename_latch
+                    if latch:
+                        blocked = 0             # bitmask of stalled threads
+                        kept = kept_scratch
+                        dispatched = 0
+                        rob_size = rob.size
+                        age = self._age
+                        latch_iter = iter(latch)
+                        for di in latch_iter:
+                            if dispatched >= decode_width:
+                                kept.append(di)
+                                kept.extend(latch_iter)
+                                break
+                            tid = di.tid
+                            if blocked >> tid & 1:
+                                kept.append(di)
+                                continue
+                            if rob_size >= rob_capacity:
+                                stats.dispatch_stalls += 1
+                                kept.append(di)
+                                kept.extend(latch_iter)
+                                break
+                            op = di.op
+                            q = queue_table[op]
+                            queue = queues[q]
+                            static = di.static
+                            dest = static.dest
+                            if dest < 0:
+                                regs_ok = True
+                            elif op == op_fp:
+                                regs_ok = regs.free_fp > 0
+                            else:
+                                regs_ok = regs.free_int > 0
+                            if len(queue) >= iq_caps[q] or not regs_ok:
+                                stats.dispatch_stalls += 1
+                                blocked |= 1 << tid
+                                kept.append(di)
+                                continue
+                            if dest >= 0:
+                                if op == op_fp:
+                                    regs.free_fp -= 1
+                                else:
+                                    regs.free_int -= 1
+                            pending = 0
+                            rmap = rename_map[tid]
+                            srcs = static.srcs
+                            if srcs:
+                                for src in srcs:
+                                    producer = rmap.get(src)
+                                    if producer is not None \
+                                            and not producer.completed \
+                                            and not producer.squashed:
+                                        pending += 1
+                                        waiters = producer.waiters
+                                        if waiters is None:
+                                            producer.waiters = [di]
+                                        else:
+                                            waiters.append(di)
+                            di.pending = pending
+                            if dest >= 0:
+                                rmap[dest] = di
+                            rob_lists[tid].append(di)
+                            rob_size += 1
+                            di.age = age
+                            queue[di] = None
+                            iq_total += 1
+                            if pending == 0:
+                                # Ages are monotonic: append keeps age order.
+                                ready_lists[q].append(di)
+                            age += 1
+                            dispatched += 1
+                        rob.size = rob_size
+                        self._age = age
+                        if kept:
+                            latch[:] = kept
+                            del kept[:]
+                        else:
+                            del latch[:]
+
+                    # ---------------- rename stage ----------------
+                    space = double_decode_width - len(rename_latch)
+                    pending_decode = len(decode_latch)
+                    move = pending_decode
+                    if move > space:
+                        move = space
+                    if move > decode_width:
+                        move = decode_width
+                    if move == pending_decode:
+                        if move:
+                            rename_latch.extend(decode_latch)
+                            del decode_latch[:]
+                    elif move > 0:
+                        rename_latch.extend(decode_latch[:move])
+                        del decode_latch[:move]
+
+                    # ---------------- decode stage ----------------
+                    if fetch_buffer:
+                        space = decode_width - len(decode_latch)
+                        if space > 0:
+                            avail = len(fetch_buffer)
+                            if space < avail:
+                                avail = space
+                            popleft = fetch_buffer.popleft
+                            for _ in range(avail):
+                                di = popleft()
+                                decode_append(di)
+                                if di.diverges and di.on_correct_path \
+                                        and di.resolve_at_decode:
+                                    # Misfetched direct jump/call: the target
+                                    # is known at decode — redirect now, drop
+                                    # the wrong path.
+                                    self._redirect_at_decode(di)
+                                    break
+
+                    # ---------------- front end + accounting ----------------
+                    fetch_stage(cycle)
+                    predict_stage(cycle)
+                    stat_cycles += 1
+                    stat_rob_occ += rob.size
+                    stat_iq_occ += iq_total
+                    if cycle - last_commit > watchdog:
+                        raise DeadlockError(
+                            f"no commit for {watchdog} cycles (cycle {cycle})")
+                    cycle += 1
+            finally:
+                self.cycle = cycle
+                self._last_commit_cycle = last_commit
+                stats.cycles = stat_cycles
+                stats.committed = stat_committed
+                stats.issued = stat_issued
+                stats.rob_occupancy_sum = stat_rob_occ
+                stats.iq_occupancy_sum = stat_iq_occ
+
+        def tick() -> None:
+            """Advance the machine by one cycle."""
+            run_fast(1)
+
+        self.tick = tick
+        self._run_fast = run_fast
 
     # ------------------------------------------------------------------
-    # squash machinery
+    # squash machinery (cold path)
     # ------------------------------------------------------------------
 
     def _redirect_at_decode(self, di: DynInst) -> None:
@@ -333,19 +589,24 @@ class SmtCore:
         """Squash everything younger than ``di`` in its thread."""
         tid = di.tid
         seq = di.seq
+        icounts = self.icounts
         removed = self.iqs.remove_squashed(tid, seq)
-        self.icounts[tid] -= removed
+        icounts[tid] -= removed
         for latch in (self.decode_latch, self.rename_latch):
-            kept = []
-            for entry in latch:
+            kept = None
+            for pos, entry in enumerate(latch):
                 if entry.tid == tid and entry.seq > seq:
                     entry.squashed = True
-                    self.icounts[tid] -= 1
-                else:
+                    icounts[tid] -= 1
+                    if kept is None:
+                        kept = latch[:pos]
+                elif kept is not None:
                     kept.append(entry)
-            latch[:] = kept
+            if kept is not None:
+                latch[:] = kept
+        regs_release = self.regs.release
         for squashed in self.rob.squash_tail(tid, seq):
-            self.regs.release(squashed)
+            regs_release(squashed)
         rmap = self.rename_map[tid]
         for arch, producer in list(rmap.items()):
             if producer is not None and producer.squashed:

@@ -8,6 +8,8 @@ micro-detail.
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.isa.instruction import DynInst, InstrClass
 
 # Queue classes: integer (ALU/MUL/branches), load-store, floating point.
@@ -24,35 +26,82 @@ _QUEUE_OF = {
     InstrClass.FP_ALU: IQ_FP,
 }
 
+QUEUE_TABLE: tuple[int, ...] = tuple(
+    _QUEUE_OF[InstrClass(k)] for k in range(len(InstrClass)))
+"""``_QUEUE_OF`` flattened for the hot path: index by ``int(opclass)``."""
+
 
 def queue_of(opclass: InstrClass) -> int:
     """Map an instruction class to its instruction queue."""
-    return _QUEUE_OF[opclass]
+    return QUEUE_TABLE[opclass]
 
 
 class InstructionQueues:
     """Three shared issue queues (Table 3: 32 entries each).
 
-    Entries wait here from dispatch to issue; each entry is
-    ``(age, DynInst)`` and issue selection is oldest-first.
+    Entries wait here from dispatch to issue; each entry is a
+    :class:`DynInst` carrying its dispatch stamp in ``age``.  A queue
+    is an insertion-ordered dict keyed by the instruction (value
+    ``None``): iteration is age-ordered so issue selection is
+    oldest-first, while the issue stage's removal of an arbitrary
+    entry is O(1) instead of a list scan.
+
+    Alongside each queue sits a **ready list**: the age-ordered subset
+    of entries whose producers have all completed
+    (``DynInst.pending == 0``).  The issue stage iterates ready lists
+    only, so waiting instructions cost nothing per cycle; membership is
+    maintained at dispatch (:meth:`insert`), at writeback
+    (:meth:`wake`, called when a dependent's ``pending`` hits zero) and
+    at squash (:meth:`remove_squashed`).
     """
+
+    __slots__ = ("capacity", "queues", "ready")
 
     def __init__(self, int_entries: int = 32, ldst_entries: int = 32,
                  fp_entries: int = 32) -> None:
         self.capacity = (int_entries, ldst_entries, fp_entries)
-        self.queues: tuple[list, list, list] = ([], [], [])
+        self.queues: tuple[dict[DynInst, None], dict[DynInst, None],
+                           dict[DynInst, None]] = ({}, {}, {})
+        self.ready: tuple[list[DynInst], list[DynInst], list[DynInst]] = \
+            ([], [], [])
 
     def has_space(self, opclass: InstrClass) -> bool:
         """True if the queue for ``opclass`` can accept an entry."""
-        q = queue_of(opclass)
+        q = QUEUE_TABLE[opclass]
         return len(self.queues[q]) < self.capacity[q]
 
     def insert(self, age: int, di: DynInst) -> None:
-        """Dispatch ``di`` into its queue."""
-        q = queue_of(di.opclass)
+        """Dispatch ``di`` into its queue (``di.pending`` already set)."""
+        q = QUEUE_TABLE[di.op]
         if len(self.queues[q]) >= self.capacity[q]:
             raise OverflowError(f"instruction queue {q} is full")
-        self.queues[q].append((age, di))
+        di.age = age
+        self.queues[q][di] = None
+        if di.pending == 0:
+            # Ages are globally monotonic, so append keeps age order.
+            self.ready[q].append(di)
+
+    def wake(self, di: DynInst) -> None:
+        """Move ``di`` to its ready list (its last producer completed)."""
+        ready = self.ready[QUEUE_TABLE[di.op]]
+        age = di.age
+        if ready and ready[-1].age > age:
+            # A younger dispatch-ready entry got there first; keep the
+            # list age-ordered (ages are unique, ties impossible).
+            i = len(ready) - 1
+            while i >= 0 and ready[i].age > age:
+                i -= 1
+            ready.insert(i + 1, di)
+        else:
+            ready.append(di)
+
+    def mark_issued(self, di: DynInst) -> None:
+        """Remove an issued instruction's entry from its queue.
+
+        The issue stage already removed it from the ready list (it
+        iterates that list directly).
+        """
+        del self.queues[QUEUE_TABLE[di.op]][di]
 
     def remove_squashed(self, tid: int, seq_limit: int) -> int:
         """Drop entries of ``tid`` younger than ``seq_limit``.
@@ -61,21 +110,29 @@ class InstructionQueues:
         """
         removed = 0
         for q in range(3):
-            kept = []
-            for age, di in self.queues[q]:
+            queue = self.queues[q]
+            victims = None
+            for di in queue:
                 if di.tid == tid and di.seq > seq_limit:
                     di.squashed = True
                     removed += 1
-                else:
-                    kept.append((age, di))
-            self.queues[q][:] = kept
+                    if victims is None:
+                        victims = [di]
+                    else:
+                        victims.append(di)
+            if victims is not None:
+                for di in victims:
+                    del queue[di]
+                ready = self.ready[q]
+                ready[:] = [di for di in ready if not di.squashed]
         return removed
 
     def occupancy(self, tid: int | None = None) -> int:
         """Entries in all queues (optionally for one thread)."""
         if tid is None:
-            return sum(len(q) for q in self.queues)
-        return sum(1 for q in self.queues for _, di in q if di.tid == tid)
+            return len(self.queues[0]) + len(self.queues[1]) \
+                + len(self.queues[2])
+        return sum(1 for q in self.queues for di in q if di.tid == tid)
 
 
 class PhysicalRegisters:
@@ -87,6 +144,8 @@ class PhysicalRegisters:
     property is that a stalled thread holds registers hostage.
     """
 
+    __slots__ = ("free_int", "free_fp")
+
     def __init__(self, n_threads: int, int_regs: int = 384,
                  fp_regs: int = 384, arch_regs: int = 32) -> None:
         reserved = n_threads * arch_regs
@@ -97,15 +156,13 @@ class PhysicalRegisters:
         self.free_int = int_regs - reserved
         self.free_fp = fp_regs - reserved
 
-    @staticmethod
-    def _pool(opclass: InstrClass) -> str:
-        return "fp" if opclass == InstrClass.FP_ALU else "int"
+    _FP = int(InstrClass.FP_ALU)
 
     def available(self, di: DynInst) -> bool:
         """True if ``di``'s destination (if any) can be renamed."""
         if di.static.dest < 0:
             return True
-        if self._pool(di.opclass) == "fp":
+        if di.op == self._FP:
             return self.free_fp > 0
         return self.free_int > 0
 
@@ -113,7 +170,7 @@ class PhysicalRegisters:
         """Take a register for ``di``'s destination."""
         if di.static.dest < 0:
             return
-        if self._pool(di.opclass) == "fp":
+        if di.op == self._FP:
             self.free_fp -= 1
         else:
             self.free_int -= 1
@@ -122,18 +179,25 @@ class PhysicalRegisters:
         """Return ``di``'s destination register (commit or squash)."""
         if di.static.dest < 0:
             return
-        if self._pool(di.opclass) == "fp":
+        if di.op == self._FP:
             self.free_fp += 1
         else:
             self.free_int += 1
 
 
 class ReorderBuffer:
-    """Shared-capacity ROB with per-thread in-order commit lists."""
+    """Shared-capacity ROB with per-thread in-order commit lists.
+
+    Per-thread lists are deques: commit pops the head (O(1), where a
+    plain list would shift the whole window) and squash pops the tail.
+    """
+
+    __slots__ = ("capacity", "lists", "size")
 
     def __init__(self, n_threads: int, capacity: int = 256) -> None:
         self.capacity = capacity
-        self.lists: list[list[DynInst]] = [[] for _ in range(n_threads)]
+        self.lists: list[deque[DynInst]] = \
+            [deque() for _ in range(n_threads)]
         self.size = 0
 
     @property
@@ -143,7 +207,7 @@ class ReorderBuffer:
 
     def push(self, di: DynInst) -> None:
         """Append ``di`` to its thread's program-order list."""
-        if self.full:
+        if self.size >= self.capacity:
             raise OverflowError("ROB is full")
         self.lists[di.tid].append(di)
         self.size += 1
@@ -155,21 +219,20 @@ class ReorderBuffer:
 
     def pop_head(self, tid: int) -> DynInst:
         """Commit the head of ``tid``."""
-        di = self.lists[tid].pop(0)
+        di = self.lists[tid].popleft()
         self.size -= 1
         return di
 
     def squash_tail(self, tid: int, seq_limit: int) -> list[DynInst]:
-        """Remove (and return) entries of ``tid`` younger than the limit."""
+        """Remove (and return, oldest first) entries younger than the limit."""
         lst = self.lists[tid]
-        cut = len(lst)
-        while cut > 0 and lst[cut - 1].seq > seq_limit:
-            cut -= 1
-        squashed = lst[cut:]
-        del lst[cut:]
-        self.size -= len(squashed)
-        for di in squashed:
+        squashed: list[DynInst] = []
+        while lst and lst[-1].seq > seq_limit:
+            di = lst.pop()
             di.squashed = True
+            squashed.append(di)
+        self.size -= len(squashed)
+        squashed.reverse()
         return squashed
 
     def occupancy(self, tid: int | None = None) -> int:
@@ -182,6 +245,8 @@ class ReorderBuffer:
 class FunctionalUnits:
     """Per-cycle functional-unit availability (Table 3: 6 int, 4 ld/st, 3 fp)."""
 
+    __slots__ = ("counts", "_free")
+
     def __init__(self, int_units: int = 6, ldst_units: int = 4,
                  fp_units: int = 3) -> None:
         self.counts = (int_units, ldst_units, fp_units)
@@ -193,7 +258,7 @@ class FunctionalUnits:
 
     def try_take(self, opclass: InstrClass) -> bool:
         """Claim a unit for this cycle; False if none left."""
-        q = queue_of(opclass)
+        q = QUEUE_TABLE[opclass]
         if self._free[q] <= 0:
             return False
         self._free[q] -= 1

@@ -14,7 +14,12 @@ calibrated on (see DESIGN.md).
 
 from __future__ import annotations
 
-from repro.util.bits import mix64, unit_float
+from repro.util.bits import GAMMA, MASK64, MIX1, MIX2, mix64, presalted, \
+    unit_float
+
+_INV53 = 1.0 / (1 << 53)
+"""Exact power-of-two reciprocal: multiplying by it is bit-identical to
+``unit_float``'s division."""
 
 
 class BranchBehavior:
@@ -63,16 +68,23 @@ class BiasedBehavior(BranchBehavior):
     that separates gshare from gskew (aliasing pressure) in the paper.
     """
 
-    __slots__ = ("p_taken", "salt")
+    __slots__ = ("p_taken", "salt", "_h")
 
     def __init__(self, p_taken: float, salt: int) -> None:
         if not 0.0 <= p_taken <= 1.0:
             raise ValueError(f"p_taken must be within [0, 1], got {p_taken}")
         self.p_taken = p_taken
         self.salt = salt
+        self._h = presalted(salt)
 
     def taken(self, n: int) -> bool:
-        return unit_float(mix64(self.salt, n)) < self.p_taken
+        # unit_float(mix64(salt, n)) with the salt fold precomputed and
+        # the final splitmix64 round inlined — runs once per
+        # architectural occurrence of every biased branch.
+        x = ((self._h ^ n) + GAMMA) & MASK64
+        x = ((x ^ (x >> 30)) * MIX1) & MASK64
+        x = ((x ^ (x >> 27)) * MIX2) & MASK64
+        return ((x ^ (x >> 31)) >> 11) * _INV53 < self.p_taken
 
 
 class PatternBehavior(BranchBehavior):

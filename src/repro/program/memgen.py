@@ -17,7 +17,7 @@ classes need:
 
 from __future__ import annotations
 
-from repro.util.bits import mix64
+from repro.util.bits import GAMMA, MASK64, MIX1, MIX2, presalted
 
 _WORD = 8
 """Access granularity in bytes; keeps accesses line-aligned-friendly."""
@@ -40,7 +40,7 @@ class AddressGenerator:
 class StackGenerator(AddressGenerator):
     """Accesses within a small frame-like region (hits after warm-up)."""
 
-    __slots__ = ("base", "size", "salt")
+    __slots__ = ("base", "size", "salt", "_h", "_slots")
 
     def __init__(self, base: int, size: int, salt: int) -> None:
         if size < _WORD:
@@ -48,10 +48,16 @@ class StackGenerator(AddressGenerator):
         self.base = base
         self.size = size
         self.salt = salt
+        self._h = presalted(salt)
+        self._slots = size // _WORD
 
     def address(self, n: int) -> int:
-        slot = mix64(self.salt, n) % (self.size // _WORD)
-        return self.base + slot * _WORD
+        # mix64(salt, n) with the salt fold precomputed and the final
+        # splitmix64 round inlined — one call per memory instruction.
+        x = ((self._h ^ n) + GAMMA) & MASK64
+        x = ((x ^ (x >> 30)) * MIX1) & MASK64
+        x = ((x ^ (x >> 27)) * MIX2) & MASK64
+        return self.base + ((x ^ (x >> 31)) % self._slots) * _WORD
 
     def footprint(self) -> int:
         return self.size
@@ -86,7 +92,7 @@ class ChaseGenerator(AddressGenerator):
     pattern that drives the paper's Section 5.2 results.
     """
 
-    __slots__ = ("base", "ws", "salt")
+    __slots__ = ("base", "ws", "salt", "_h", "_slots")
 
     def __init__(self, base: int, ws: int, salt: int) -> None:
         if ws < _WORD:
@@ -94,10 +100,15 @@ class ChaseGenerator(AddressGenerator):
         self.base = base
         self.ws = ws
         self.salt = salt
+        self._h = presalted(salt)
+        self._slots = ws // _WORD
 
     def address(self, n: int) -> int:
-        slot = mix64(self.salt, n) % (self.ws // _WORD)
-        return self.base + slot * _WORD
+        # Same inlined mix64(salt, n) as StackGenerator.address.
+        x = ((self._h ^ n) + GAMMA) & MASK64
+        x = ((x ^ (x >> 30)) * MIX1) & MASK64
+        x = ((x ^ (x >> 27)) * MIX2) & MASK64
+        return self.base + ((x ^ (x >> 31)) % self._slots) * _WORD
 
     def footprint(self) -> int:
         return self.ws

@@ -9,16 +9,23 @@ state because there is no mutable state to corrupt.
 
 MASK64 = (1 << 64) - 1
 
-_GAMMA = 0x9E3779B97F4A7C15
-_MIX1 = 0xBF58476D1CE4E5B9
-_MIX2 = 0x94D049BB133111EB
+GAMMA = 0x9E3779B97F4A7C15
+MIX1 = 0xBF58476D1CE4E5B9
+MIX2 = 0x94D049BB133111EB
+MIX_SEED = 0x243F6A8885A308D3
+"""pi fractional bits; the (arbitrary, non-zero) fold start of mix64."""
+
+# Backwards-compatible aliases (pre-existing private spellings).
+_GAMMA = GAMMA
+_MIX1 = MIX1
+_MIX2 = MIX2
 
 
 def splitmix64(x: int) -> int:
     """Return the splitmix64 hash of ``x`` (a 64-bit avalanche function)."""
-    x = (x + _GAMMA) & MASK64
-    x = ((x ^ (x >> 30)) * _MIX1) & MASK64
-    x = ((x ^ (x >> 27)) * _MIX2) & MASK64
+    x = (x + GAMMA) & MASK64
+    x = ((x ^ (x >> 30)) * MIX1) & MASK64
+    x = ((x ^ (x >> 27)) * MIX2) & MASK64
     return x ^ (x >> 31)
 
 
@@ -29,10 +36,21 @@ def mix64(*values: int) -> int:
     order-sensitive, so distinct (salt, index) pairs never collide by
     transposition.
     """
-    acc = 0x243F6A8885A308D3  # pi fractional bits; arbitrary non-zero start
+    acc = MIX_SEED
     for value in values:
         acc = splitmix64(acc ^ (value & MASK64))
     return acc
+
+
+def presalted(salt: int) -> int:
+    """The mix64 accumulator after folding ``salt``.
+
+    ``mix64(salt, n) == splitmix64(presalted(salt) ^ n)`` for any
+    ``0 <= n < 2**64``: per-occurrence generators (addresses, branch
+    outcomes) precompute this once and inline the single remaining
+    splitmix64 round on their hot path.
+    """
+    return splitmix64(MIX_SEED ^ (salt & MASK64))
 
 
 def unit_float(h: int) -> float:

@@ -1,0 +1,57 @@
+"""Golden-parity contract for hot-path optimisations.
+
+The cycle loop is aggressively optimised (event-wheel writeback,
+ready-count wakeup, closure-specialised stages); these tests pin the
+contract that none of it may change a simulated outcome.  The fixture
+was generated *before* the optimisations and must keep matching
+byte-for-byte; see :mod:`repro.perf.parity` for the regeneration
+protocol when an intentional behaviour change lands.
+"""
+
+from pathlib import Path
+
+from repro.core.config import SimConfig
+from repro.experiments.cache import cell_key
+from repro.perf.parity import (
+    PARITY_CELLS,
+    PARITY_CYCLES,
+    PARITY_WARMUP,
+    canonical_json,
+    collect_parity,
+    parity_label,
+)
+
+FIXTURE = Path(__file__).with_name("golden_parity.json")
+
+
+class TestGoldenParity:
+    def test_fixture_exists_and_covers_grid(self):
+        text = FIXTURE.read_text(encoding="utf-8")
+        for workload, engine, policy, seed in PARITY_CELLS:
+            assert f'"{parity_label(workload, engine, policy, seed)}"' \
+                in text
+
+    def test_simulation_results_byte_identical(self):
+        """Every pinned cell reproduces its fixture dict byte-for-byte."""
+        got = canonical_json(collect_parity())
+        want = FIXTURE.read_text(encoding="utf-8")
+        assert got == want, (
+            "SimResult parity broken: a hot-path change altered a "
+            "simulated outcome.  If the change is intentional, "
+            "regenerate the fixture (see repro/perf/parity.py) and "
+            "bump CACHE_FORMAT_VERSION in the same commit.")
+
+    def test_cache_fingerprints_unchanged(self):
+        """Content-addressed cache keys are pinned alongside results.
+
+        Warm caches written before this PR must keep hitting: the cell
+        key of a known cell and the default config fingerprint are
+        frozen here.
+        """
+        assert SimConfig().fingerprint() == (
+            "7bef82be1a3b2d435224938bd9ffa87b"
+            "6f48cfc082ff3f30e3e67e548b291301")
+        assert cell_key("2_MIX", "stream", "ICOUNT.2.8",
+                        PARITY_CYCLES, PARITY_WARMUP, SimConfig()) == (
+            "dbedcbb01a51eb761aa5d9ab8fa2d8d5"
+            "c9f60f0a68fe3f35b2d02010ed565b0f")

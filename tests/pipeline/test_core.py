@@ -89,7 +89,7 @@ class TestInvariants:
         for _ in range(800):
             core.tick()
             for q in core.iqs.queues:
-                assert not any(di.squashed for _, di in q)
+                assert not any(di.squashed for di in q)
             for lst in core.rob.lists:
                 assert not any(di.squashed for di in lst)
 

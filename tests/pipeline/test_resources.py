@@ -59,6 +59,51 @@ class TestInstructionQueues:
         assert iqs.occupancy() == 2
 
 
+class TestReadyListProtocol:
+    """The wake/issue protocol of the ready lists.
+
+    The fused cycle loop inlines these operations; the methods here
+    are the reference implementation, and this test keeps them honest.
+    """
+
+    def test_dispatch_ready_entries_join_ready_list(self):
+        iqs = InstructionQueues()
+        di = make_di(seq=0)             # pending defaults to 0
+        iqs.insert(0, di)
+        assert iqs.ready[0] == [di]
+
+    def test_wake_inserts_older_before_younger(self):
+        iqs = InstructionQueues()
+        waiting = make_di(seq=0)
+        waiting.pending = 1
+        ready_at_dispatch = make_di(seq=1)
+        iqs.insert(10, waiting)
+        iqs.insert(11, ready_at_dispatch)
+        assert iqs.ready[0] == [ready_at_dispatch]
+        waiting.pending = 0
+        iqs.wake(waiting)
+        # Age order: the older instruction issues first.
+        assert iqs.ready[0] == [waiting, ready_at_dispatch]
+
+    def test_mark_issued_removes_queue_entry(self):
+        iqs = InstructionQueues()
+        a, b = make_di(seq=0), make_di(seq=1)
+        iqs.insert(0, a)
+        iqs.insert(1, b)
+        iqs.mark_issued(a)
+        assert iqs.occupancy() == 1
+        assert a not in iqs.queues[0]
+        assert b in iqs.queues[0]
+
+    def test_remove_squashed_clears_ready_list(self):
+        iqs = InstructionQueues()
+        di = make_di(tid=0, seq=5)
+        iqs.insert(0, di)
+        assert iqs.remove_squashed(tid=0, seq_limit=0) == 1
+        assert iqs.ready[0] == []
+        assert iqs.occupancy() == 0
+
+
 class TestPhysicalRegisters:
     def test_reserves_architectural_state(self):
         regs = PhysicalRegisters(n_threads=2, int_regs=384, fp_regs=384)
