@@ -57,6 +57,11 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes for uncached cells "
                              "(default: 1, serial)")
+    parser.add_argument("--backend", default=None,
+                        help="simulation backend for uncached cells "
+                             "(see repro.backend; default: reference). "
+                             "Backends are parity-checked, so this "
+                             "never changes a result")
     parser.add_argument("--cycles", type=int, default=None,
                         help="measured cycles per grid cell "
                              "(default: 20000)")
@@ -302,11 +307,17 @@ def emit_json(session: ExperimentSession, sections: set, fig_ids: set,
 
 def run(args) -> None:
     sections, fig_ids = select(args.only)
-    session = ExperimentSession(
-        jobs=args.jobs,
-        cache_dir=None if args.no_cache else args.cache_dir,
-        cycles=args.cycles, warmup=args.warmup,
-        cache_budget_entries=args.cache_budget)
+    try:
+        session = ExperimentSession(
+            jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            cycles=args.cycles, warmup=args.warmup,
+            cache_budget_entries=args.cache_budget,
+            backend=args.backend)
+    except ValueError as exc:
+        # An unknown --backend (with its suggestion list) is a user
+        # error: report the message, not a traceback.
+        raise SystemExit(f"run_experiments: {exc}") from None
 
     t0 = time.time()
     # One up-front batch: every cell the selected sections will read,

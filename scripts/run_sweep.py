@@ -30,6 +30,8 @@ import argparse
 import sys
 import time
 
+from repro.backend import get_backend
+from repro.core.config import DEFAULT_CONFIG
 from repro.experiments import ExperimentSession
 from repro.experiments.cache import DEFAULT_CACHE_DIR
 from repro.experiments.session import DEFAULT_CYCLES
@@ -98,11 +100,20 @@ def build_spec(args: argparse.Namespace) -> SweepSpec:
                                         is not None else {}).items()
                     if axis in axes and value in axes[axis]}
 
+    # Presets may carry a non-default base_config; --backend layers on
+    # top of it (an explicit backend *axis* still wins, as axis values
+    # override the base config per point).
+    base_config = spec.base_config if spec is not None else DEFAULT_CONFIG
+    if args.backend is not None:
+        get_backend(args.backend)        # raises with suggestions
+        base_config = base_config.with_(backend=args.backend)
+
     merged = SweepSpec.of(
         args.preset or "custom", axes,
         cycles=args.cycles,
         warmup=args.warmup if args.warmup is not None
         else (spec.warmup if spec is not None else None),
+        base_config=base_config,
         baseline=baseline,
         metric=args.metric or (spec.metric if spec is not None
                                else "ipc"),
@@ -116,7 +127,7 @@ def list_presets() -> None:
     for name, spec in PRESETS.items():
         axes = " x ".join(f"{axis}[{len(values)}]"
                           for axis, values in spec.axes)
-        print(f"{name:16s} {axes}")
+        print(f"{name:16s} {axes}  ({spec.n_cells()} cells)")
         print(f"{'':16s} {spec.description}")
 
 
@@ -144,6 +155,11 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes for uncached cells "
                              "(default: 1)")
+    parser.add_argument("--backend", default=None,
+                        help="simulation backend every cell runs on "
+                             "(see repro.backend; default: the base "
+                             "config's, i.e. reference).  Overridden "
+                             "per point by an explicit backend axis")
     parser.add_argument("--cycles", type=int, default=DEFAULT_CYCLES,
                         help=f"measured cycles per cell (default: "
                              f"{DEFAULT_CYCLES})")

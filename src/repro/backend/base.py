@@ -1,0 +1,114 @@
+"""The backend protocol: what any simulation engine must provide.
+
+A *backend* is one way of executing a simulation cell.  All backends
+model the same machine and must produce **byte-identical**
+:class:`~repro.core.metrics.SimResult` dicts for the same cell — the
+golden-parity suite (:mod:`repro.perf.parity`) enforces this for every
+registered backend — so backend choice only affects *how fast* a cell
+runs, never what it measures.  That contract is what lets the
+content-addressed cache, the sweep reports and the figure runner treat
+backends interchangeably.
+
+The protocol is deliberately split into three phases rather than a
+single ``run`` call:
+
+* ``warm(cycles)`` — advance with statistics discarded (train caches
+  and predictors);
+* ``advance(cycles)`` — advance the measured window;
+* ``result()`` — export the current statistics snapshot.
+
+The throughput benchmark (:mod:`repro.perf.bench`) needs the seams:
+its timed region is exactly one ``advance`` call, with construction,
+warm-up and result export outside the clock.
+
+Batch execution goes through :meth:`SimBackend.run_cells`, a
+classmethod so a backend can amortise per-process setup (shared
+program/warm-region tables, in the batched backend) across a whole
+batch of cells delivered to one worker process.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar
+
+from repro.core.config import DEFAULT_CONFIG, SimConfig
+from repro.core.metrics import SimResult
+from repro.core.workloads import resolve_workload
+
+
+class SimBackend(ABC):
+    """One simulation engine, constructed per cell.
+
+    Constructor contract (shared by every backend so the registry can
+    instantiate them uniformly)::
+
+        Backend(benchmarks, engine, policy, config, workload_name=...)
+
+    ``benchmarks`` is an explicit benchmark tuple; use
+    :func:`~repro.core.workloads.resolve_workload` to turn a workload
+    name into one.  ``config`` defaults to the Table 3 baseline.
+    """
+
+    name: ClassVar[str]
+    """Registry name; participates in cache keys via ``SimConfig``."""
+
+    config: SimConfig
+
+    @abstractmethod
+    def __init__(self, benchmarks, engine="gshare+BTB",
+                 policy="ICOUNT.1.8", config: SimConfig | None = None,
+                 workload_name: str | None = None) -> None:
+        ...
+
+    @abstractmethod
+    def warm(self, cycles: int) -> None:
+        """Advance ``cycles`` cycles, then discard all statistics."""
+
+    @abstractmethod
+    def advance(self, cycles: int) -> None:
+        """Advance ``cycles`` measured cycles."""
+
+    @abstractmethod
+    def result(self) -> SimResult:
+        """Snapshot the statistics accumulated since the last reset."""
+
+    def run(self, cycles: int, warmup: int | None = None) -> SimResult:
+        """Warm up, measure ``cycles`` cycles, export the result.
+
+        ``warmup=None`` defers to ``config.warmup_cycles``, matching
+        the semantics of :func:`repro.core.simulator.simulate`.
+        """
+        warmup = self.config.warmup_cycles if warmup is None else warmup
+        if warmup:
+            self.warm(warmup)
+        self.advance(cycles)
+        return self.result()
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def simulate_cell(cls, cell) -> SimResult:
+        """Run one cell descriptor end to end.
+
+        ``cell`` is duck-typed: anything with ``workload``, ``engine``,
+        ``policy``, ``cycles``, ``warmup`` and ``config`` attributes
+        (:class:`repro.experiments.session.Cell` in practice).
+        """
+        benchmarks, name = resolve_workload(cell.workload)
+        machine = cls(benchmarks, cell.engine, cell.policy,
+                      cell.config or DEFAULT_CONFIG, workload_name=name)
+        return machine.run(cell.cycles, warmup=cell.warmup)
+
+    @classmethod
+    def run_cells(cls, cells) -> list[SimResult]:
+        """Execute a batch of cells; results in input order.
+
+        The base implementation runs cells independently; backends
+        override this to share per-batch state (the whole point of
+        :class:`~repro.backend.batched.BatchedBackend`).  Results must
+        stay byte-identical to per-cell execution regardless.
+        """
+        return [cls.simulate_cell(cell) for cell in cells]

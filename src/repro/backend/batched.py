@@ -1,0 +1,86 @@
+"""The batched backend: shared construction tables across a batch.
+
+First rung of the native-speed ladder.  Per-cell simulation state is
+untouched (each cell still gets its own machine, so results are
+byte-identical to the reference backend), but the *construction-time*
+work that is a pure function of ``(benchmark, seed)`` is computed once
+per batch and shared by every machine in it:
+
+* synthetic programs — structure generation, branch-behaviour
+  calibration walks and the presalted mix64 address generators;
+* data-side warm-up regions — the deduplicated, footprint-sorted
+  ``(base, footprint)`` list derived from each program's generators.
+
+A sweep batch typically runs many cells over few distinct
+``(benchmark, seed)`` pairs (config axes vary the machine, not the
+program), so a worker process handed a batch through
+:meth:`~repro.backend.base.SimBackend.run_cells` pays program
+generation once per pair instead of once per cell.  Sharing is safe
+because programs are immutable during simulation — all mutable per-run
+state lives in ``ThreadContext`` and the machine components (the
+determinism suite pins this).
+"""
+
+from __future__ import annotations
+
+from repro.backend.registry import register_backend
+from repro.backend.reference import ReferenceBackend
+from repro.core.config import SimConfig
+from repro.core.metrics import SimResult
+from repro.core.simulator import MachineTables
+from repro.core.workloads import resolve_workload
+
+
+class BatchTables(MachineTables):
+    """Memoising :class:`MachineTables`, built once per batch.
+
+    Programs are keyed by ``(benchmark, seed)`` and warm regions by the
+    program they derive from, so machines that differ only in config
+    axes (cache sizes, FTQ depth, ...) share everything here.
+    """
+
+    def __init__(self) -> None:
+        self._programs: dict[tuple[str, int], object] = {}
+        self._regions: dict[tuple[str, int], list] = {}
+
+    def program(self, name: str, seed: int):
+        key = (name, seed)
+        program = self._programs.get(key)
+        if program is None:
+            program = self._programs[key] = super().program(name, seed)
+        return program
+
+    def warm_regions(self, program) -> list[tuple[int, int]]:
+        key = (program.name, program.seed)
+        regions = self._regions.get(key)
+        if regions is None:
+            regions = self._regions[key] = super().warm_regions(program)
+        return regions
+
+
+@register_backend
+class BatchedBackend(ReferenceBackend):
+    """Reference machinery plus per-batch table sharing."""
+
+    name = "batched"
+
+    def __init__(self, benchmarks, engine="gshare+BTB",
+                 policy="ICOUNT.1.8", config: SimConfig | None = None,
+                 workload_name: str | None = None,
+                 tables: MachineTables | None = None) -> None:
+        super().__init__(benchmarks, engine, policy, config,
+                         workload_name=workload_name,
+                         tables=tables if tables is not None
+                         else BatchTables())
+
+    @classmethod
+    def run_cells(cls, cells) -> list[SimResult]:
+        """Run a batch with one shared :class:`BatchTables`."""
+        tables = BatchTables()
+        results: list[SimResult] = []
+        for cell in cells:
+            benchmarks, name = resolve_workload(cell.workload)
+            machine = cls(benchmarks, cell.engine, cell.policy,
+                          cell.config, workload_name=name, tables=tables)
+            results.append(machine.run(cell.cycles, warmup=cell.warmup))
+        return results

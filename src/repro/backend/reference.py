@@ -1,0 +1,46 @@
+"""The reference backend: the fused cycle loop, one machine per cell.
+
+This is the existing simulator behind the :class:`SimBackend` seam —
+a thin adapter over :class:`~repro.core.simulator.Simulator` and its
+:class:`~repro.pipeline.core.SmtCore` cycle loop.  The
+closure-specialisation contract of :mod:`repro.pipeline.core` is
+untouched; the adapter only maps the protocol's warm/advance/result
+phases onto the existing run/reset/result machinery.  Every other
+backend is validated byte-for-byte against this one.
+"""
+
+from __future__ import annotations
+
+from repro.backend.base import SimBackend
+from repro.backend.registry import register_backend
+from repro.core.config import DEFAULT_CONFIG, SimConfig
+from repro.core.metrics import SimResult
+from repro.core.simulator import MachineTables, Simulator
+
+
+@register_backend
+class ReferenceBackend(SimBackend):
+    """Golden-truth backend wrapping one :class:`Simulator` per cell."""
+
+    name = "reference"
+
+    def __init__(self, benchmarks, engine="gshare+BTB",
+                 policy="ICOUNT.1.8", config: SimConfig | None = None,
+                 workload_name: str | None = None,
+                 tables: MachineTables | None = None) -> None:
+        self.config = config or DEFAULT_CONFIG
+        self.simulator = Simulator(benchmarks, engine, policy,
+                                   self.config,
+                                   workload_name=workload_name,
+                                   tables=tables)
+
+    def warm(self, cycles: int) -> None:
+        if cycles:
+            self.simulator.core.run(cycles)
+            self.simulator._reset_stats()
+
+    def advance(self, cycles: int) -> None:
+        self.simulator.core.run(cycles)
+
+    def result(self) -> SimResult:
+        return self.simulator.result()

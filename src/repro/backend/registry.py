@@ -1,0 +1,68 @@
+"""Backend registry: names to :class:`~repro.backend.base.SimBackend`.
+
+Backends register under a short stable name (``"reference"``,
+``"batched"``); the name is what flows through ``SimConfig.backend``,
+sweep axes, ``--backend`` CLI flags and cache keys.  Lookup failures
+raise with close-match suggestions, mirroring the repo's other
+user-facing resolvers (workloads, sweep axes).
+"""
+
+from __future__ import annotations
+
+import difflib
+
+DEFAULT_BACKEND = "reference"
+"""The backend every config runs on unless told otherwise."""
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_backend(backend_cls):
+    """Register a backend class under its ``name`` (decorator-friendly).
+
+    The class must subclass :class:`~repro.backend.base.SimBackend` and
+    define a non-empty ``name``.  Re-registering the same class is a
+    no-op; registering a *different* class under a taken name is an
+    error (silent replacement would change what cached fingerprints
+    mean).
+    """
+    from repro.backend.base import SimBackend
+
+    name = getattr(backend_cls, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ValueError(
+            f"backend class {backend_cls!r} must define a non-empty "
+            f"string 'name' attribute")
+    if not (isinstance(backend_cls, type)
+            and issubclass(backend_cls, SimBackend)):
+        raise TypeError(
+            f"backend {name!r} must be a SimBackend subclass, got "
+            f"{backend_cls!r}")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not backend_cls:
+        raise ValueError(
+            f"backend name {name!r} is already registered to "
+            f"{existing.__qualname__}")
+    _REGISTRY[name] = backend_cls
+    return backend_cls
+
+
+def get_backend(name: str) -> type:
+    """The backend class registered under ``name``.
+
+    Raises ValueError with suggestions for typos — surfaced verbatim by
+    the CLIs, so the message must stand alone.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        close = difflib.get_close_matches(str(name), _REGISTRY, n=3)
+        hint = f" (did you mean {', '.join(close)}?)" if close else ""
+        raise ValueError(
+            f"unknown backend {name!r}{hint}; registered: "
+            f"{', '.join(available_backends())}") from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Every registered backend name, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -14,6 +14,18 @@ import json
 from dataclasses import dataclass, field, fields, replace
 
 
+CONFIG_SCHEMA_VERSION = 2
+"""Version of the fingerprint/result schema, hashed into every
+:meth:`SimConfig.fingerprint`.
+
+Bump it when the meaning of a cached result changes without any config
+field changing — a new ``SimResult`` field, a semantic fix in a
+simulated component, or a change to what a backend computes — so
+entries written under the old semantics miss instead of deserialising
+stale dicts.  Version 2: backend-aware configs (the ``backend`` field
+and the pluggable :mod:`repro.backend` layer)."""
+
+
 def canonical_hash(data) -> str:
     """SHA-256 of a canonical (sorted-key, compact) JSON rendering.
 
@@ -91,6 +103,7 @@ class SimConfig:
     seed: int = 0
     warmup_cycles: int = 8000
     watchdog_cycles: int = 50_000
+    backend: str = "reference"      # simulation engine (repro.backend)
 
     def with_(self, **overrides) -> "SimConfig":
         """Return a copy with the given fields replaced."""
@@ -121,8 +134,12 @@ class SimConfig:
         identity or construction order — produce the same fingerprint,
         making it safe as a persistent cache key component (unlike
         ``id()``, which CPython reuses after garbage collection).
+
+        ``CONFIG_SCHEMA_VERSION`` participates in the hash, so a bump
+        invalidates every previously-written cache entry at once.
         """
-        return canonical_hash(self.to_dict())
+        return canonical_hash({"schema": CONFIG_SCHEMA_VERSION,
+                               "config": self.to_dict()})
 
 
 DEFAULT_CONFIG = SimConfig()

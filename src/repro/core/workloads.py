@@ -42,3 +42,18 @@ def workload_benchmarks(name: str) -> tuple[str, ...]:
         known = ", ".join(sorted(WORKLOADS))
         raise KeyError(f"unknown workload {name!r}; known: {known}") \
             from None
+
+
+def resolve_workload(workload) -> tuple[tuple[str, ...], str]:
+    """Normalise a workload spec into ``(benchmarks, display_name)``.
+
+    Accepts a Table 2 name (``"4_MIX"``) or an explicit benchmark
+    sequence (``("gzip", "twolf")``); every entry point that takes a
+    workload argument — :func:`repro.core.simulator.simulate`, the
+    backend layer, the experiment session — funnels through here so
+    they agree on names and error messages.
+    """
+    if isinstance(workload, str):
+        return workload_benchmarks(workload), workload
+    benchmarks = tuple(workload)
+    return benchmarks, "+".join(benchmarks)

@@ -29,9 +29,19 @@ from pathlib import Path
 from repro.core.config import SimConfig, canonical_hash
 from repro.core.metrics import SimResult
 
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 """Bumped whenever the simulator's observable behaviour changes
-incompatibly; old entries then miss instead of serving stale results."""
+incompatibly; old entries then miss instead of serving stale results.
+Version 2: backend-aware cells (``SimConfig.backend`` joins the
+descriptor) and schema-stamped payloads."""
+
+RESULT_SCHEMA_VERSION = 1
+"""Version of the *stored payload* format, written into every entry
+and verified on read.  Distinct from ``CACHE_FORMAT_VERSION`` (which
+changes cache *keys*): bump this when the serialized ``SimResult``
+shape changes meaning, so entries written under an older schema —
+including pre-versioning entries with no stamp at all — read as
+misses instead of silently deserialising stale dicts."""
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 """Default on-disk location, relative to the current working directory."""
@@ -86,6 +96,8 @@ class ResultCache:
                 payload = json.load(fh)
             if payload.get("key") != key:
                 raise ValueError("key mismatch (truncated or foreign file)")
+            if payload.get("schema") != RESULT_SCHEMA_VERSION:
+                raise ValueError("result schema mismatch (stale entry)")
             result = SimResult.from_dict(payload["result"])
         except (OSError, ValueError, KeyError, TypeError):
             # Missing, unreadable, truncated, hand-edited, or written by
@@ -100,8 +112,8 @@ class ResultCache:
         """Store a result atomically (safe under parallel writers)."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"key": key, "cell": descriptor,
-                   "result": result.to_dict()}
+        payload = {"key": key, "schema": RESULT_SCHEMA_VERSION,
+                   "cell": descriptor, "result": result.to_dict()}
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:

@@ -11,12 +11,19 @@ exploits that structure:
   everything that determines its outcome (see
   :mod:`repro.experiments.cache`), first in an in-process memo, then in
   an optional persistent on-disk cache;
-* **Fan-out** — cache misses are simulated across worker processes via
+* **Fan-out** — cache misses are handed to their
+  :mod:`repro.backend` backend in *batches* (grouped by
+  ``config.backend``), so a backend can amortise per-process setup —
+  shared program/warm-region tables in the batched backend — across
+  every cell a worker receives.  ``jobs > 1`` stripes the batches
+  across worker processes via
   :class:`concurrent.futures.ProcessPoolExecutor` (``jobs=1`` stays
   fully in-process, which is what the test suite uses).
 
 Results are bit-identical to serial execution: each cell's simulation
-is deterministic given (seed, config), and workers share nothing.
+is deterministic given (seed, config), every backend is
+golden-parity-validated against the reference loop, and workers share
+nothing.
 """
 
 from __future__ import annotations
@@ -24,9 +31,9 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from repro.backend import get_backend
 from repro.core.config import DEFAULT_CONFIG, SimConfig
 from repro.core.metrics import SimResult
-from repro.core.simulator import simulate
 from repro.experiments.cache import ResultCache, cell_descriptor, cell_key
 from repro.experiments.figures import FigureSpec
 from repro.experiments.paper_data import Claim
@@ -54,11 +61,29 @@ class Cell:
     config: SimConfig
 
 
+def _execute_batch(cells: list[Cell]) -> list[SimResult]:
+    """Worker entry point: run a batch of cells (picklable, top-level).
+
+    Cells are grouped by their config's backend and each group is
+    delivered to that backend's ``run_cells`` in one call, which is
+    where per-batch amortisation (shared tables) happens.  Results come
+    back in input order.
+    """
+    by_backend: dict[str, list[int]] = {}
+    for i, cell in enumerate(cells):
+        by_backend.setdefault(cell.config.backend, []).append(i)
+    results: list[SimResult | None] = [None] * len(cells)
+    for backend, indices in by_backend.items():
+        batch_results = get_backend(backend).run_cells(
+            [cells[i] for i in indices])
+        for i, result in zip(indices, batch_results):
+            results[i] = result
+    return results
+
+
 def _execute_cell(cell: Cell) -> SimResult:
-    """Worker entry point: simulate one cell (picklable, top-level)."""
-    return simulate(cell.workload, engine=cell.engine, policy=cell.policy,
-                    cycles=cell.cycles, config=cell.config,
-                    warmup=cell.warmup)
+    """Simulate one cell through its backend (picklable, top-level)."""
+    return _execute_batch([cell])[0]
 
 
 class ExperimentSession:
@@ -77,13 +102,18 @@ class ExperimentSession:
             on :meth:`close` (or context-manager exit) the persistent
             cache is pruned to at most this many entries, oldest-first.
             ``None`` (the default) keeps the cache unbounded.
+        backend: Registered backend name to run cells on; applied to
+            the session's default config (cells built with an explicit
+            ``config`` override keep that config's backend).  Validated
+            eagerly so typos fail before any simulation runs.
     """
 
     def __init__(self, jobs: int = 1, cache_dir=None,
                  config: SimConfig | None = None,
                  cycles: int = DEFAULT_CYCLES,
                  warmup: int | None = None,
-                 cache_budget_entries: int | None = None) -> None:
+                 cache_budget_entries: int | None = None,
+                 backend: str | None = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if cache_budget_entries is not None and cache_budget_entries < 0:
@@ -91,6 +121,9 @@ class ExperimentSession:
                              f"{cache_budget_entries}")
         self.jobs = jobs
         self.config = config or DEFAULT_CONFIG
+        if backend is not None:
+            get_backend(backend)       # raises with suggestions
+            self.config = self.config.with_(backend=backend)
         self.cycles = cycles
         self.warmup = warmup
         self.disk = ResultCache(cache_dir) if cache_dir is not None else None
@@ -179,11 +212,19 @@ class ExperimentSession:
         if misses:
             miss_cells = [by_key[key] for key in misses]
             if self.jobs > 1 and len(misses) > 1:
+                # Stripe cells across workers: each worker gets one
+                # batch (so its backend amortises setup over many
+                # cells), and striping keeps per-worker load balanced
+                # when neighbouring cells have similar cost.
                 workers = min(self.jobs, len(misses))
+                stripes = [miss_cells[w::workers] for w in range(workers)]
+                simulated: list[SimResult | None] = [None] * len(misses)
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    simulated = list(pool.map(_execute_cell, miss_cells))
+                    for w, stripe_results in enumerate(
+                            pool.map(_execute_batch, stripes)):
+                        simulated[w::workers] = stripe_results
             else:
-                simulated = [_execute_cell(c) for c in miss_cells]
+                simulated = _execute_batch(miss_cells)
             self.simulated += len(misses)
             for key, result in zip(misses, simulated):
                 self._store(key, by_key[key], result)

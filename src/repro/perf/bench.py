@@ -25,8 +25,8 @@ import statistics
 import time
 from dataclasses import dataclass
 
+from repro.backend import DEFAULT_BACKEND, get_backend
 from repro.core.config import SimConfig
-from repro.core.simulator import Simulator
 from repro.core.workloads import WORKLOADS
 
 DEFAULT_CYCLES = 5_000
@@ -81,28 +81,35 @@ def geomean(values) -> float:
 def measure_cell(cell: BenchCell, cycles: int = DEFAULT_CYCLES,
                  warmup: int = DEFAULT_WARMUP,
                  repeats: int = DEFAULT_REPEATS,
-                 config: SimConfig | None = None) -> dict:
-    """Time one cell; returns a JSON-safe measurement record."""
+                 config: SimConfig | None = None,
+                 backend: str = DEFAULT_BACKEND) -> dict:
+    """Time one cell; returns a JSON-safe measurement record.
+
+    The timed region is exactly one backend ``advance`` call —
+    construction, warm-up and result export stay outside the clock for
+    every backend, so per-backend numbers are comparable.
+    """
     if cell.workload not in WORKLOADS:
         raise KeyError(f"unknown workload {cell.workload!r}")
+    backend_cls = get_backend(backend)
     elapsed: list[float] = []
     committed = 0
     for _ in range(repeats):
-        sim = Simulator(WORKLOADS[cell.workload], engine=cell.engine,
-                        policy=cell.policy, config=config,
-                        workload_name=cell.workload)
-        if warmup:
-            sim.core.run(warmup)
-            sim._reset_stats()
+        machine = backend_cls(WORKLOADS[cell.workload],
+                              engine=cell.engine, policy=cell.policy,
+                              config=config,
+                              workload_name=cell.workload)
+        machine.warm(warmup)
         t0 = time.perf_counter()
-        stats = sim.core.run(cycles)
+        machine.advance(cycles)
         elapsed.append(time.perf_counter() - t0)
-        committed = stats.committed
+        committed = machine.result().committed
     seconds = statistics.median(elapsed)
     return {
         "workload": cell.workload,
         "engine": cell.engine,
         "policy": cell.policy,
+        "backend": backend,
         "seconds_median": seconds,
         "kcycles_per_sec": cycles / seconds / 1e3,
         "kinstr_per_sec": committed / seconds / 1e3,
@@ -114,7 +121,7 @@ def run_bench(grid=BENCH_GRID, cycles: int = DEFAULT_CYCLES,
               warmup: int = DEFAULT_WARMUP,
               repeats: int = DEFAULT_REPEATS,
               config: SimConfig | None = None,
-              progress=None) -> dict:
+              progress=None, backend: str = DEFAULT_BACKEND) -> dict:
     """Measure every cell of ``grid``; returns the full report mapping.
 
     ``progress`` is an optional callable receiving each cell's record
@@ -123,7 +130,8 @@ def run_bench(grid=BENCH_GRID, cycles: int = DEFAULT_CYCLES,
     cells = []
     for cell in grid:
         record = measure_cell(cell, cycles=cycles, warmup=warmup,
-                              repeats=repeats, config=config)
+                              repeats=repeats, config=config,
+                              backend=backend)
         cells.append(record)
         if progress is not None:
             progress(record)
@@ -132,6 +140,7 @@ def run_bench(grid=BENCH_GRID, cycles: int = DEFAULT_CYCLES,
             "cycles": cycles,
             "warmup": warmup,
             "repeats": repeats,
+            "backend": backend,
             "grid": [c.label for c in grid],
         },
         "cells": cells,

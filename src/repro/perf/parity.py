@@ -8,6 +8,16 @@ behaviour-preserving.  This module pins that contract: a fixed grid of
 not just IPC — is rendered to canonical JSON and compared byte-for-byte
 against a committed fixture (``tests/perf/golden_parity.json``).
 
+The fixture is *backend-independent*: every backend registered in
+:mod:`repro.backend` must reproduce the same bytes, which is exactly
+the interchangeability contract of the backend layer.  Validate any
+backend against the committed fixture with::
+
+    PYTHONPATH=src python -m repro.perf.parity --backend batched \
+        --check tests/perf/golden_parity.json
+
+(CI runs this as a matrix over every registered backend.)
+
 Any change that alters a simulated outcome fails the parity test and
 must regenerate the fixture **in the same commit**, bumping
 ``repro.experiments.cache.CACHE_FORMAT_VERSION`` so stale cache entries
@@ -20,6 +30,7 @@ from __future__ import annotations
 
 import json
 
+from repro.backend import DEFAULT_BACKEND, available_backends
 from repro.core.config import SimConfig
 from repro.core.simulator import simulate
 
@@ -48,11 +59,17 @@ def parity_label(workload: str, engine: str, policy: str,
 
 
 def collect_parity(cells=PARITY_CELLS, cycles: int = PARITY_CYCLES,
-                   warmup: int = PARITY_WARMUP) -> dict[str, dict]:
-    """Simulate every pinned cell; returns {label: SimResult.to_dict()}."""
+                   warmup: int = PARITY_WARMUP,
+                   backend: str = DEFAULT_BACKEND) -> dict[str, dict]:
+    """Simulate every pinned cell; returns {label: SimResult.to_dict()}.
+
+    ``backend`` selects the execution engine; the output must not
+    depend on it (``SimResult`` carries no backend identity), so the
+    same fixture validates every backend.
+    """
     results: dict[str, dict] = {}
     for workload, engine, policy, seed in cells:
-        config = SimConfig(seed=seed)
+        config = SimConfig(seed=seed, backend=backend)
         result = simulate(workload, engine=engine, policy=policy,
                           cycles=cycles, config=config, warmup=warmup)
         results[parity_label(workload, engine, policy, seed)] = \
@@ -65,6 +82,37 @@ def canonical_json(results: dict[str, dict]) -> str:
     return json.dumps(results, sort_keys=True, indent=1) + "\n"
 
 
-if __name__ == "__main__":
+def main(argv=None) -> None:
+    """CLI: emit the fixture, or check a backend against one."""
+    import argparse
     import sys
-    sys.stdout.write(canonical_json(collect_parity()))
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        description="Golden-parity fixture generator/checker.")
+    parser.add_argument("--backend", choices=available_backends(),
+                        default=DEFAULT_BACKEND,
+                        help="backend to simulate the pinned grid on "
+                             f"(default: {DEFAULT_BACKEND})")
+    parser.add_argument("--check", metavar="FIXTURE", default=None,
+                        help="compare against this fixture file and "
+                             "exit non-zero on any byte difference, "
+                             "instead of printing to stdout")
+    args = parser.parse_args(argv)
+
+    got = canonical_json(collect_parity(backend=args.backend))
+    if args.check is None:
+        sys.stdout.write(got)
+        return
+    want = Path(args.check).read_text(encoding="utf-8")
+    if got != want:
+        raise SystemExit(
+            f"parity FAILED: backend {args.backend!r} diverges from "
+            f"{args.check} (regenerate the fixture only if the "
+            f"reference behaviour change is intentional)")
+    print(f"parity ok: backend {args.backend!r} matches {args.check} "
+          f"byte-for-byte", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,7 @@ from repro.sweeps.spec import (
     KNOWN_AXES,
     METRICS,
     RESERVED_AXES,
+    STRING_AXES,
     SweepSpec,
     axis_label,
     coerce_axis_value,
@@ -46,6 +47,7 @@ __all__ = [
     "PRESETS",
     "PointResult",
     "RESERVED_AXES",
+    "STRING_AXES",
     "Stats",
     "SweepResult",
     "SweepSpec",

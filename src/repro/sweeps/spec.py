@@ -18,6 +18,7 @@ from __future__ import annotations
 import difflib
 from dataclasses import dataclass, field, fields, replace
 
+from repro.backend import get_backend
 from repro.core.config import DEFAULT_CONFIG, SimConfig
 from repro.core.workloads import workload_benchmarks
 from repro.frontend.policy import PolicySpec
@@ -26,9 +27,14 @@ RESERVED_AXES = ("workload", "engine", "policy", "seed")
 """Axes interpreted by the runner itself rather than as config fields."""
 
 CONFIG_AXES = tuple(f.name for f in fields(SimConfig) if f.name != "seed")
-"""Every SimConfig field usable as a sweep axis (``seed`` is reserved)."""
+"""Every SimConfig field usable as a sweep axis (``seed`` is reserved).
+This includes ``backend``: sweeping it compares execution engines that
+must agree byte-for-byte, which is a parity harness in sweep form."""
 
 KNOWN_AXES = RESERVED_AXES + CONFIG_AXES
+
+STRING_AXES = ("workload", "engine", "policy", "backend")
+"""Axes whose values are strings (every other axis coerces to int)."""
 
 METRICS = ("ipc", "ipfc")
 """Aggregated metrics; a spec's ``metric`` picks the primary one."""
@@ -48,10 +54,10 @@ def validate_axis(name: str) -> str:
 def coerce_axis_value(axis: str, text: str):
     """Parse one ``--axis`` CLI token into the axis's value type.
 
-    ``workload``/``engine``/``policy`` values are strings; ``seed`` and
-    every ``SimConfig`` field are integers.
+    ``workload``/``engine``/``policy``/``backend`` values are strings;
+    ``seed`` and every other ``SimConfig`` field are integers.
     """
-    if axis in ("workload", "engine", "policy"):
+    if axis in STRING_AXES:
         return text
     try:
         return int(text)
@@ -128,6 +134,9 @@ class SweepSpec:
             elif axis == "policy":
                 for v in values:
                     PolicySpec.parse(v)
+            elif axis == "backend":
+                for v in values:
+                    get_backend(v)       # raises with suggestions
         if self.metric not in METRICS:
             raise ValueError(
                 f"unknown metric {self.metric!r}; choose from "

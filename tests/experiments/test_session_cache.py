@@ -134,6 +134,57 @@ class TestResultCache:
         assert len(cache) == 2
 
 
+class TestCacheSchemaVersion:
+    """Stale-format entries must miss, never deserialise silently."""
+
+    def put_one(self, tmp_path) -> tuple[ResultCache, str]:
+        cache = ResultCache(tmp_path)
+        result = simulate("2_MIX", cycles=300, warmup=150)
+        key = "ab" * 32
+        cache.put(key, result)
+        return cache, key
+
+    def test_payload_is_schema_stamped(self, tmp_path):
+        from repro.experiments.cache import RESULT_SCHEMA_VERSION
+        cache, key = self.put_one(tmp_path)
+        payload = json.loads(cache.path_for(key).read_text("utf-8"))
+        assert payload["schema"] == RESULT_SCHEMA_VERSION
+
+    def test_stale_schema_reads_as_miss(self, tmp_path):
+        cache, key = self.put_one(tmp_path)
+        path = cache.path_for(key)
+        payload = json.loads(path.read_text("utf-8"))
+        payload["schema"] = 0
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_pre_versioning_entry_reads_as_miss(self, tmp_path):
+        # Entries written before schema stamping carry no marker at
+        # all; they must be treated as stale, not trusted.
+        cache, key = self.put_one(tmp_path)
+        path = cache.path_for(key)
+        payload = json.loads(path.read_text("utf-8"))
+        del payload["schema"]
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_schema_bump_invalidates_existing_entries(self, tmp_path,
+                                                      monkeypatch):
+        import repro.experiments.cache as cache_module
+        cache, key = self.put_one(tmp_path)
+        assert cache.get(key) is not None
+        monkeypatch.setattr(cache_module, "RESULT_SCHEMA_VERSION", 999)
+        assert cache.get(key) is None
+
+    def test_config_schema_version_participates_in_fingerprint(
+            self, monkeypatch):
+        import repro.core.config as config_module
+        before = SimConfig().fingerprint()
+        monkeypatch.setattr(config_module, "CONFIG_SCHEMA_VERSION", 999)
+        assert SimConfig().fingerprint() != before
+
+
 class TestCacheMaintenance:
     def filled(self, tmp_path, n=4) -> ResultCache:
         cache = ResultCache(tmp_path)

@@ -166,6 +166,75 @@ class TestRedirect:
                    if di.tid == 0)
         assert [di for di in survivors if di.tid != 0] == other_before
 
+    def test_redirect_with_drained_buffer_is_a_noop_on_state(self):
+        """The no-op fast path: squash with zero buffered remnants.
+
+        The common case in the core is a squash whose wrong-path
+        instructions were already drained by decode; redirect must then
+        skip the buffer rebuild entirely — icounts untouched, control
+        state still reset and the redirect still counted.
+        """
+        unit, contexts = build_unit(buffer_capacity=4096)
+        target = None
+        for cycle in range(4000):
+            unit.fetch_stage(cycle)
+            unit.predict_stage(cycle)
+            target = next((di for di in unit.fetch_buffer if di.diverges),
+                          None)
+            if target is not None:
+                break
+        assert target is not None
+        # Drain everything, as decode would, before the squash arrives.
+        while unit.fetch_buffer:
+            di = unit.fetch_buffer.popleft()
+            unit.icounts[di.tid] -= 1
+        assert unit.icounts[0] == 0
+        redirects_before = unit.stats.squash_redirects
+        resume = contexts[0].recover()
+        unit.redirect(0, resume, target)
+        assert unit.icounts[0] == 0
+        assert len(unit.fetch_buffer) == 0
+        assert unit.next_pc[0] == resume
+        assert unit.blocked_until[0] == 0
+        assert unit.ftqs[0].empty
+        assert unit.stats.squash_redirects == redirects_before + 1
+
+    def test_redirect_noop_leaves_other_threads_entries_untouched(self):
+        """Fast path with a non-empty buffer owned by other threads.
+
+        When the buffer holds only entries of *other* threads (or older
+        entries of the squashed one), nothing is removed: the surviving
+        entries must be the same objects in the same order, unmarked,
+        and no icount may move.
+        """
+        unit, contexts = build_unit(benchmarks=("gzip", "twolf"),
+                                    policy="ICOUNT.2.8",
+                                    buffer_capacity=4096)
+        target = None
+        for cycle in range(4000):
+            unit.fetch_stage(cycle)
+            unit.predict_stage(cycle)
+            target = next((di for di in unit.fetch_buffer
+                           if di.diverges and di.tid == 0), None)
+            if target is not None:
+                break
+        assert target is not None
+        # Decode consumes every thread-0 entry; thread 1's stay queued.
+        kept = [di for di in unit.fetch_buffer if di.tid == 1]
+        drained = [di for di in unit.fetch_buffer if di.tid == 0]
+        assert kept and drained
+        unit.fetch_buffer.clear()
+        unit.fetch_buffer.extend(kept)
+        unit.icounts[0] -= len(drained)
+        icounts_before = list(unit.icounts)
+        resume = contexts[0].recover()
+        unit.redirect(0, resume, target)
+        survivors = list(unit.fetch_buffer)
+        assert survivors == kept
+        assert all(a is b for a, b in zip(survivors, kept))
+        assert not any(di.squashed for di in survivors)
+        assert unit.icounts == icounts_before
+
     def test_icounts_track_buffer_after_redirect(self):
         unit, contexts = build_unit(buffer_capacity=4096)
         target = None

@@ -1,15 +1,20 @@
-"""Golden-parity contract for hot-path optimisations.
+"""Golden-parity contract for hot-path optimisations and backends.
 
 The cycle loop is aggressively optimised (event-wheel writeback,
-ready-count wakeup, closure-specialised stages); these tests pin the
-contract that none of it may change a simulated outcome.  The fixture
-was generated *before* the optimisations and must keep matching
-byte-for-byte; see :mod:`repro.perf.parity` for the regeneration
-protocol when an intentional behaviour change lands.
+ready-count wakeup, closure-specialised stages) and now sits behind a
+pluggable backend seam; these tests pin the contract that none of it
+may change a simulated outcome.  The fixture was generated *before*
+the optimisations and must keep matching byte-for-byte — on **every**
+registered backend, since backends may differ only in speed; see
+:mod:`repro.perf.parity` for the regeneration protocol when an
+intentional behaviour change lands.
 """
 
 from pathlib import Path
 
+import pytest
+
+from repro.backend import available_backends
 from repro.core.config import SimConfig
 from repro.experiments.cache import cell_key
 from repro.perf.parity import (
@@ -31,27 +36,54 @@ class TestGoldenParity:
             assert f'"{parity_label(workload, engine, policy, seed)}"' \
                 in text
 
-    def test_simulation_results_byte_identical(self):
-        """Every pinned cell reproduces its fixture dict byte-for-byte."""
-        got = canonical_json(collect_parity())
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_simulation_results_byte_identical(self, backend):
+        """Every pinned cell reproduces its fixture dict byte-for-byte.
+
+        Parametrised over every registered backend: the fixture is
+        backend-independent, so this is simultaneously the hot-path
+        parity gate and the backend-interchangeability gate.
+        """
+        got = canonical_json(collect_parity(backend=backend))
         want = FIXTURE.read_text(encoding="utf-8")
         assert got == want, (
-            "SimResult parity broken: a hot-path change altered a "
-            "simulated outcome.  If the change is intentional, "
-            "regenerate the fixture (see repro/perf/parity.py) and "
-            "bump CACHE_FORMAT_VERSION in the same commit.")
+            f"SimResult parity broken on backend {backend!r}: a change "
+            "altered a simulated outcome.  If the (reference-backend) "
+            "change is intentional, regenerate the fixture (see "
+            "repro/perf/parity.py) and bump CACHE_FORMAT_VERSION in "
+            "the same commit.  A divergence on a non-reference backend "
+            "is a bug in that backend, never a fixture problem.")
 
     def test_cache_fingerprints_unchanged(self):
         """Content-addressed cache keys are pinned alongside results.
 
-        Warm caches written before this PR must keep hitting: the cell
-        key of a known cell and the default config fingerprint are
-        frozen here.
+        Warm caches written since the backend seam landed must keep
+        hitting: the cell key of a known cell and the default config
+        fingerprint are frozen here.  (The pins were regenerated when
+        ``SimConfig`` gained the ``backend`` field and the versioned
+        fingerprint schema — that PR invalidated older caches by
+        design.)
         """
         assert SimConfig().fingerprint() == (
-            "7bef82be1a3b2d435224938bd9ffa87b"
-            "6f48cfc082ff3f30e3e67e548b291301")
+            "06a02627c3824a21da529bc4f76020b5"
+            "1f5504bf7081e72bd73027193a71189c")
         assert cell_key("2_MIX", "stream", "ICOUNT.2.8",
                         PARITY_CYCLES, PARITY_WARMUP, SimConfig()) == (
-            "dbedcbb01a51eb761aa5d9ab8fa2d8d5"
-            "c9f60f0a68fe3f35b2d02010ed565b0f")
+            "748d37b302f73ae30335966cde024071"
+            "e9479f43116f5b05f4ce1f471afcd6cb")
+
+    def test_backend_identity_changes_fingerprints(self):
+        """Backend identity participates in every cache key.
+
+        Cached results are tagged with the backend that produced them:
+        byte-equality is *verified* on the parity grid, not assumed for
+        arbitrary cells, so a backend bug can never poison the cache of
+        another backend.
+        """
+        reference = SimConfig()
+        batched = SimConfig(backend="batched")
+        assert reference.fingerprint() != batched.fingerprint()
+        assert cell_key("2_MIX", "stream", "ICOUNT.2.8", PARITY_CYCLES,
+                        PARITY_WARMUP, reference) != \
+            cell_key("2_MIX", "stream", "ICOUNT.2.8", PARITY_CYCLES,
+                     PARITY_WARMUP, batched)
