@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Chaos smoke: drive the resilience layer through injected faults.
+
+Three scenarios, each on a small 4-cell grid with ``jobs=2``:
+
+1. **crash** — one worker dies mid-stripe (``os._exit``) on its first
+   attempt; the retry machinery must recover every cell and the final
+   results must be *byte-identical* to a fault-free cold run.
+2. **hang** — one cell sleeps far past ``--cell-timeout``; the hung
+   worker must be killed and the cell recovered on retry, with the
+   whole scenario finishing in bounded wall-clock time.
+3. **corrupt** — a cache entry is torn after being written; the next
+   read must quarantine it (with a reason file) and re-simulate the
+   cell exactly once, after which a warm run performs zero simulations.
+
+Exit status 0 only when every scenario holds.  This is the CI
+``chaos-smoke`` gate: it proves the fault-tolerance layer recovers
+from the failure modes it claims to, not just that its unit tests
+pass.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+"""
+
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.config import DEFAULT_CONFIG
+from repro.experiments import ExperimentSession
+from repro.resilience import FaultSpec, inject_faults
+
+CYCLES = 2_000
+POLICIES = ("ICOUNT.1.8", "RR.1.8")
+SEEDS = (0, 1)
+
+
+def make_session(cache_dir, **kwargs) -> ExperimentSession:
+    return ExperimentSession(jobs=2, cache_dir=cache_dir, cycles=CYCLES,
+                             **kwargs)
+
+
+def grid(session: ExperimentSession) -> list:
+    return [session.make_cell("2_MIX", "stream", policy, CYCLES, None,
+                              DEFAULT_CONFIG.with_(seed=seed))
+            for policy in POLICIES for seed in SEEDS]
+
+
+def run_grid(cache_dir, **kwargs) -> tuple[dict, ExperimentSession]:
+    session = make_session(cache_dir, **kwargs)
+    results = session.run_cells(grid(session))
+    session.close()
+    return results, session
+
+
+def as_dicts(results: dict) -> list[dict]:
+    return [results[cell].to_dict() for cell in sorted(
+        results, key=lambda c: (c.policy, c.config.seed))]
+
+
+def scenario_crash(workdir: Path) -> None:
+    """Worker crash mid-stripe: retried, byte-identical results."""
+    clean, _ = run_grid(workdir / "clean-cache")
+    with inject_faults(FaultSpec(kind="crash", match="seed0", times=1),
+                       spool=str(workdir / "spool-crash")):
+        faulty, session = run_grid(workdir / "crash-cache", retries=1)
+    assert not session.failures, f"unexpected failures: {session.failures}"
+    assert as_dicts(faulty) == as_dicts(clean), \
+        "post-crash results differ from fault-free run"
+    assert session.simulated > len(faulty), \
+        f"crash retry not accounted: simulated={session.simulated}"
+
+
+def scenario_hang(workdir: Path) -> None:
+    """Hung cell: killed at the timeout, recovered on retry."""
+    clean, _ = run_grid(workdir / "clean-cache")
+    t0 = time.monotonic()
+    with inject_faults(FaultSpec(kind="hang", match="seed1", times=1,
+                                 seconds=60.0),
+                       spool=str(workdir / "spool-hang")):
+        faulty, session = run_grid(workdir / "hang-cache",
+                                   retries=1, cell_timeout=3.0)
+    elapsed = time.monotonic() - t0
+    assert not session.failures, f"unexpected failures: {session.failures}"
+    assert as_dicts(faulty) == as_dicts(clean), \
+        "post-hang results differ from fault-free run"
+    assert elapsed < 45.0, \
+        f"hang not cut short: scenario took {elapsed:.0f} s"
+
+
+def scenario_corrupt(workdir: Path) -> None:
+    """Torn cache entry: quarantined once, never silently re-run twice."""
+    cache = workdir / "corrupt-cache"
+    with inject_faults(FaultSpec(kind="corrupt", match="seed0", times=1),
+                       spool=str(workdir / "spool-corrupt")):
+        clean, _ = run_grid(cache)
+
+    # Second (cold-session) run: the torn entry quarantines and its
+    # cell re-simulates exactly once; healthy entries hit.
+    again, session = run_grid(cache)
+    assert as_dicts(again) == as_dicts(clean), \
+        "re-simulated results differ from original run"
+    assert session.simulated == 1, \
+        f"expected exactly 1 re-simulation, got {session.simulated}"
+    stats = session.disk.stats()
+    assert stats["quarantined"] == 1, \
+        f"expected 1 quarantined entry, got {stats['quarantined']}"
+    reasons = list(session.disk.quarantine_root.glob("*.reason.txt"))
+    assert len(reasons) == 1 and reasons[0].read_text().strip(), \
+        "quarantined entry has no reason file"
+
+    # Third run, fully warm: zero simulations.
+    _, warm = run_grid(cache)
+    assert warm.simulated == 0, \
+        f"warm run still simulated {warm.simulated} cell(s)"
+
+
+def main() -> int:
+    scenarios = (scenario_crash, scenario_hang, scenario_corrupt)
+    failed = 0
+    for scenario in scenarios:
+        name = scenario.__name__.removeprefix("scenario_")
+        workdir = Path(tempfile.mkdtemp(prefix=f"chaos-{name}-"))
+        t0 = time.monotonic()
+        try:
+            scenario(workdir)
+        except AssertionError as exc:
+            failed += 1
+            print(f"[chaos-smoke] {name}: FAIL — {exc}", file=sys.stderr)
+        else:
+            print(f"[chaos-smoke] {name}: ok "
+                  f"({time.monotonic() - t0:.1f} s)", file=sys.stderr)
+            shutil.rmtree(workdir, ignore_errors=True)
+    if failed:
+        print(f"[chaos-smoke] {failed}/{len(scenarios)} scenario(s) "
+              "FAILED", file=sys.stderr)
+        return 1
+    print(f"[chaos-smoke] all {len(scenarios)} scenarios passed",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

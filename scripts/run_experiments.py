@@ -31,6 +31,7 @@ from repro.experiments import FIGURES, PAPER_CLAIMS, ExperimentSession, \
     format_claims, format_figure
 from repro.experiments.cache import DEFAULT_CACHE_DIR
 from repro.perf.profiling import maybe_profiled
+from repro.resilience import CellExecutionError
 from repro.experiments.paper_data import DISTRIBUTION_CLAIMS, \
     FIG2_ANCHORS, SUPERSCALAR_CLAIMS
 from repro.program import SPECINT2000, program_for
@@ -45,6 +46,18 @@ DIST_WORKLOAD, DIST_ENGINE = "2_MIX", "gshare+BTB"
 def fmt(x) -> str:
     """Render an optional paper anchor value for a Markdown cell."""
     return f"{x:.2f}" if x is not None else "-"
+
+
+def skip_section(name: str, exc: Exception) -> None:
+    """Partial-results mode: mark a section its failed cells killed.
+
+    The document gets an explicit placeholder (a reader must see the
+    hole, not a silently absent table) and stderr gets the cause.
+    """
+    print(f"*(section skipped: cell(s) failed after retries — "
+          f"see stderr)*")
+    print(f"[run_experiments] section {name!r} skipped: {exc}",
+          file=sys.stderr)
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -83,6 +96,20 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="auto-prune the cache to this many entries "
                              "when the session closes (maintenance "
                              "policy; unbounded by default)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-execute a failing cell up to N extra "
+                             "times before giving up on it "
+                             "(default: 0)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per cell execution; a "
+                             "hung cell is killed and retried "
+                             "(default: unlimited)")
+    parser.add_argument("--strict", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="abort on the first cell that exhausts its "
+                             "retries (default; --no-strict emits the "
+                             "sections that survive and exits 3)")
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top-25 "
                              "cumulative entries to stderr")
@@ -95,6 +122,11 @@ def parse_args(argv=None) -> argparse.Namespace:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error(f"--cell-timeout must be > 0, got "
+                     f"{args.cell_timeout}")
     if args.prune_cache is not None and args.no_cache:
         parser.error("--prune-cache is meaningless with --no-cache")
     if args.cache_budget is not None and args.no_cache:
@@ -219,9 +251,14 @@ def emit_markdown(session: ExperimentSession, sections: set, fig_ids: set,
         print("effect matches but the magnitude differs; `NO` = shape "
               "broken.")
         print()
-        print("```")
-        print(format_claims(session.check_claims(PAPER_CLAIMS)))
-        print("```")
+        try:
+            claims = format_claims(session.check_claims(PAPER_CLAIMS))
+        except CellExecutionError as exc:
+            skip_section("claims", exc)
+        else:
+            print("```")
+            print(claims)
+            print("```")
         print()
 
     if "dist" in sections:
@@ -231,29 +268,40 @@ def emit_markdown(session: ExperimentSession, sections: set, fig_ids: set,
         print("Share of fetch cycles delivering at least N instructions,")
         print("gshare+BTB on gzip-twolf (2_MIX):")
         print()
-        print("| policy | >=4 paper | >=4 meas | >=8 paper | >=8 meas | "
-              ">=16 paper | >=16 meas |")
-        print("|---|---|---|---|---|---|---|")
-        for policy, paper in DISTRIBUTION_CLAIMS.items():
-            meas = session.measure(DIST_WORKLOAD, DIST_ENGINE,
-                                   policy).delivered_at_least
-            print(f"| {policy} | {fmt(paper.get(4))} | {meas[4]:.2f} | "
-                  f"{fmt(paper.get(8))} | {meas[8]:.2f} | "
-                  f"{fmt(paper.get(16))} | {meas[16]:.2f} |")
+        try:
+            dist = {policy: session.measure(DIST_WORKLOAD, DIST_ENGINE,
+                                            policy).delivered_at_least
+                    for policy in DISTRIBUTION_CLAIMS}
+        except CellExecutionError as exc:
+            skip_section("dist", exc)
+        else:
+            print("| policy | >=4 paper | >=4 meas | >=8 paper | "
+                  ">=8 meas | >=16 paper | >=16 meas |")
+            print("|---|---|---|---|---|---|---|")
+            for policy, paper in DISTRIBUTION_CLAIMS.items():
+                meas = dist[policy]
+                print(f"| {policy} | {fmt(paper.get(4))} | "
+                      f"{meas[4]:.2f} | "
+                      f"{fmt(paper.get(8))} | {meas[8]:.2f} | "
+                      f"{fmt(paper.get(16))} | {meas[16]:.2f} |")
         print()
 
     if "superscalar" in sections:
         print("## Section 3.3 — superscalar (single-thread) engine "
               "comparison")
         print()
-        ipc = superscalar_ipc(session)
-        base = ipc["gshare+BTB"]
-        print("| engine | paper speedup vs gshare+BTB | measured |")
-        print("|---|---|---|")
-        print(f"| gshare+BTB | — | IPC {base:.2f} |")
-        for engine, paper in SUPERSCALAR_CLAIMS.items():
-            print(f"| {engine} | {paper - 1:+.1%} | "
-                  f"{ipc[engine] / base - 1:+.1%} |")
+        try:
+            ipc = superscalar_ipc(session)
+        except CellExecutionError as exc:
+            skip_section("superscalar", exc)
+        else:
+            base = ipc["gshare+BTB"]
+            print("| engine | paper speedup vs gshare+BTB | measured |")
+            print("|---|---|---|")
+            print(f"| gshare+BTB | — | IPC {base:.2f} |")
+            for engine, paper in SUPERSCALAR_CLAIMS.items():
+                print(f"| {engine} | {paper - 1:+.1%} | "
+                      f"{ipc[engine] / base - 1:+.1%} |")
         print()
 
     print(f"_Total regeneration time: {time.time() - t0:.0f} s "
@@ -276,31 +324,54 @@ def emit_json(session: ExperimentSession, sections: set, fig_ids: set,
                 "values": [{"workload": w, "engine": e, "policy": p,
                             "value": v}
                            for (w, e, p), v in result.values.items()]}
+    skipped = []
     if "claims" in sections:
-        doc["claims"] = [
-            {"claim_id": o.claim.claim_id,
-             "paper_ratio": o.claim.paper_ratio,
-             "measured_ratio": o.measured_ratio,
-             "holds": o.holds, "direction_holds": o.direction_holds}
-            for o in session.check_claims(PAPER_CLAIMS)]
+        try:
+            doc["claims"] = [
+                {"claim_id": o.claim.claim_id,
+                 "paper_ratio": o.claim.paper_ratio,
+                 "measured_ratio": o.measured_ratio,
+                 "holds": o.holds, "direction_holds": o.direction_holds}
+                for o in session.check_claims(PAPER_CLAIMS)]
+        except CellExecutionError as exc:
+            doc["claims"] = None
+            skipped.append("claims")
+            print(f"[run_experiments] section 'claims' skipped: {exc}",
+                  file=sys.stderr)
     if "dist" in sections:
-        doc["distributions"] = [
-            {"policy": policy, "paper": {str(n): v for n, v
-                                         in paper.items()},
-             "measured": {str(n): v for n, v in session.measure(
-                 DIST_WORKLOAD, DIST_ENGINE,
-                 policy).delivered_at_least.items()}}
-            for policy, paper in DISTRIBUTION_CLAIMS.items()]
+        try:
+            doc["distributions"] = [
+                {"policy": policy, "paper": {str(n): v for n, v
+                                             in paper.items()},
+                 "measured": {str(n): v for n, v in session.measure(
+                     DIST_WORKLOAD, DIST_ENGINE,
+                     policy).delivered_at_least.items()}}
+                for policy, paper in DISTRIBUTION_CLAIMS.items()]
+        except CellExecutionError as exc:
+            doc["distributions"] = None
+            skipped.append("dist")
+            print(f"[run_experiments] section 'dist' skipped: {exc}",
+                  file=sys.stderr)
     if "superscalar" in sections:
-        ipc = superscalar_ipc(session)
-        doc["superscalar"] = {
-            "ipc": ipc,
-            "paper_speedup": dict(SUPERSCALAR_CLAIMS),
-            "measured_speedup": {engine: ipc[engine] / ipc["gshare+BTB"]
-                                 for engine in SUPERSCALAR_ENGINES}}
+        try:
+            ipc = superscalar_ipc(session)
+        except CellExecutionError as exc:
+            doc["superscalar"] = None
+            skipped.append("superscalar")
+            print(f"[run_experiments] section 'superscalar' skipped: "
+                  f"{exc}", file=sys.stderr)
+        else:
+            doc["superscalar"] = {
+                "ipc": ipc,
+                "paper_speedup": dict(SUPERSCALAR_CLAIMS),
+                "measured_speedup": {engine: ipc[engine]
+                                     / ipc["gshare+BTB"]
+                                     for engine in SUPERSCALAR_ENGINES}}
     doc["meta"] = {"seconds": round(time.time() - t0, 1),
                    "simulated": session.simulated,
-                   "disk_hits": session.disk_hits}
+                   "disk_hits": session.disk_hits,
+                   "failed_cells": len(session.failures),
+                   "skipped_sections": skipped}
     json.dump(doc, sys.stdout, indent=2)
     print()
 
@@ -313,7 +384,9 @@ def run(args) -> None:
             cache_dir=None if args.no_cache else args.cache_dir,
             cycles=args.cycles, warmup=args.warmup,
             cache_budget_entries=args.cache_budget,
-            backend=args.backend)
+            backend=args.backend,
+            retries=args.retries, cell_timeout=args.cell_timeout,
+            strict=args.strict)
     except ValueError as exc:
         # An unknown --backend (with its suggestion list) is a user
         # error: report the message, not a traceback.
@@ -325,7 +398,13 @@ def run(args) -> None:
     # emitters below then run entirely against warm memoisation.
     cells = enumerate_cells(session, sections, fig_ids)
     if cells:
-        session.run_cells(cells)
+        try:
+            session.run_cells(cells)
+        except CellExecutionError as exc:
+            raise SystemExit(
+                f"run_experiments: {exc}\n(use --no-strict to emit the "
+                "surviving sections, --retries/--cell-timeout to "
+                "recover flaky cells)") from None
         print(f"[run_experiments] {session.summary()} "
               f"({time.time() - t0:.0f} s, jobs={args.jobs})",
               file=sys.stderr)
@@ -346,6 +425,14 @@ def run(args) -> None:
     if removed:
         print(f"[run_experiments] cache budget: {removed} entry(ies) "
               f"evicted on close", file=sys.stderr)
+
+    if session.failures:
+        # Partial-results mode: the surviving sections were emitted,
+        # but the run must not look healthy to scripts and CI.
+        print(f"[run_experiments] WARNING: {len(session.failures)} "
+              "cell(s) failed after retries; output is partial",
+              file=sys.stderr)
+        raise SystemExit(3)
 
 
 def main(argv=None) -> None:

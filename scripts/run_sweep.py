@@ -36,6 +36,7 @@ from repro.experiments import ExperimentSession
 from repro.experiments.cache import DEFAULT_CACHE_DIR
 from repro.experiments.session import DEFAULT_CYCLES
 from repro.perf.profiling import maybe_profiled
+from repro.resilience import CellExecutionError
 from repro.sweeps import (
     FORMATTERS,
     PRESETS,
@@ -180,6 +181,21 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="auto-prune the cache to this many entries "
                              "when the session closes (maintenance "
                              "policy; unbounded by default)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-execute a failing cell up to N extra "
+                             "times before recording it failed "
+                             "(default: 0)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per cell execution; a "
+                             "hung cell is killed and retried "
+                             "(default: unlimited)")
+    parser.add_argument("--strict", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="abort the sweep on the first cell that "
+                             "exhausts its retries instead of emitting "
+                             "a partial report (default: --no-strict — "
+                             "report with failures marked, exit 3)")
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top-25 "
                              "cumulative entries to stderr")
@@ -191,6 +207,11 @@ def parse_args(argv=None) -> argparse.Namespace:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error(f"--cell-timeout must be > 0, got "
+                     f"{args.cell_timeout}")
     if args.prune_cache is not None and args.no_cache:
         parser.error("--prune-cache is meaningless with --no-cache")
     if args.cache_budget is not None and args.no_cache:
@@ -213,7 +234,9 @@ def run(args) -> None:
         cache_dir=None if args.no_cache else args.cache_dir,
         cycles=spec.cycles if spec.cycles is not None else DEFAULT_CYCLES,
         warmup=spec.warmup,
-        cache_budget_entries=args.cache_budget)
+        cache_budget_entries=args.cache_budget,
+        retries=args.retries, cell_timeout=args.cell_timeout,
+        strict=args.strict)
 
     t0 = time.time()
     print(f"[run_sweep] {spec.name}: {spec.n_cells()} cell(s), "
@@ -223,6 +246,10 @@ def run(args) -> None:
     except KeyError as exc:
         message = exc.args[0] if exc.args else str(exc)
         raise SystemExit(f"run_sweep: {message}") from None
+    except CellExecutionError as exc:
+        raise SystemExit(f"run_sweep: {exc}\n(use --no-strict for a "
+                         "partial report, --retries/--cell-timeout to "
+                         "recover flaky cells)") from None
     print(f"[run_sweep] {session.summary()} "
           f"({time.time() - t0:.0f} s)", file=sys.stderr)
 
@@ -246,6 +273,16 @@ def run(args) -> None:
     if removed:
         print(f"[run_sweep] cache budget: {removed} entry(ies) evicted "
               f"on close", file=sys.stderr)
+
+    if result.failures:
+        # Partial-results mode: the report is written (with failures
+        # marked) but the run as a whole must not look healthy to
+        # scripts and CI — exit 3 distinguishes "degraded" from both
+        # success (0) and usage errors (2).
+        print(f"[run_sweep] WARNING: {len(result.failures)} cell(s) "
+              "failed after retries; report is partial",
+              file=sys.stderr)
+        raise SystemExit(3)
 
 
 def main(argv=None) -> None:

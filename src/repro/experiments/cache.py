@@ -11,15 +11,19 @@ runner, the claim checker, benchmarks and ad-hoc sweeps.
 On disk, each result is one JSON file under a two-character fan-out
 directory (``<cache_dir>/<key[:2]>/<key>.json``) holding the key, the
 cell description (for debuggability) and the serialized
-:class:`~repro.core.metrics.SimResult`.  Corrupted or unreadable files
-are treated as misses, never as fatal errors: the cell is simply
-re-simulated and the entry rewritten.  Writes are atomic
-(temp-file + ``os.replace``) so parallel workers and concurrent runs
-cannot tear each other's entries.
+:class:`~repro.core.metrics.SimResult`.  Corrupted entries are never
+fatal — the cell re-simulates — but they are not *silent* either: the
+bad file is **quarantined** into ``<cache_dir>/quarantine/`` next to a
+``.reason.txt`` explaining what was wrong, so an operator can tell a
+torn write from a stale schema, and the same broken entry can never
+cause repeated re-simulation.  Writes are atomic (temp-file +
+``os.replace``) so parallel workers and concurrent runs cannot tear
+each other's entries.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
@@ -28,6 +32,7 @@ from pathlib import Path
 
 from repro.core.config import SimConfig, canonical_hash
 from repro.core.metrics import SimResult
+from repro.resilience.faults import descriptor_label, should_corrupt
 
 CACHE_FORMAT_VERSION = 2
 """Bumped whenever the simulator's observable behaviour changes
@@ -45,6 +50,12 @@ misses instead of silently deserialising stale dicts."""
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 """Default on-disk location, relative to the current working directory."""
+
+QUARANTINE_DIR = "quarantine"
+"""Subdirectory (under the cache root) where corrupt entries land,
+each next to a ``<key>.reason.txt`` naming the corruption.  The name
+is deliberately longer than the two-character fan-out directories so
+entry scans (``??/*.json``) never see quarantined files."""
 
 
 def cell_key(workload: str | tuple[str, ...], engine: str, policy: str,
@@ -83,29 +94,67 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def path_for(self, key: str) -> Path:
         """Where the entry for ``key`` lives (fan-out by prefix)."""
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_root(self) -> Path:
+        """Where corrupt entries (and their reason files) land."""
+        return self.root / QUARANTINE_DIR
+
     def get(self, key: str) -> SimResult | None:
-        """Load a cached result; any corruption reads as a miss."""
+        """Load a cached result; corruption quarantines, then misses.
+
+        A *missing* entry is an ordinary miss.  A *present but
+        unusable* entry — truncated JSON, key/name disagreement, stale
+        schema, malformed result — is moved into the quarantine
+        directory with a reason file and then reads as a miss: the
+        cell re-simulates exactly once (the rewritten entry is
+        healthy), and the evidence survives for inspection instead of
+        being silently destroyed by the overwrite.
+        """
         path = self.path_for(key)
         try:
-            with open(path, encoding="utf-8") as fh:
+            fh = open(path, encoding="utf-8")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        try:
+            with fh:
                 payload = json.load(fh)
             if payload.get("key") != key:
                 raise ValueError("key mismatch (truncated or foreign file)")
             if payload.get("schema") != RESULT_SCHEMA_VERSION:
                 raise ValueError("result schema mismatch (stale entry)")
             result = SimResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
-            # Missing, unreadable, truncated, hand-edited, or written by
-            # an incompatible version: re-simulate rather than crash.
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self._quarantine(path, f"{type(exc).__name__}: {exc}")
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry (plus a reason file) out of the cache.
+
+        Best-effort: if a racing reader already moved the file (or the
+        filesystem objects), the entry still reads as a miss — the
+        invariant that matters is that a corrupt file never *stays* at
+        its addressable path, silently re-corrupting every future run.
+        """
+        target = self.quarantine_root / path.name
+        try:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            return
+        self.quarantined += 1
+        with contextlib.suppress(OSError):
+            (self.quarantine_root / f"{path.stem}.reason.txt") \
+                .write_text(reason + "\n", encoding="utf-8")
 
     def put(self, key: str, result: SimResult,
             descriptor: dict | None = None) -> None:
@@ -120,11 +169,20 @@ class ResultCache:
                 json.dump(payload, fh, sort_keys=True)
             os.replace(tmp, path)
         except BaseException:
-            try:
+            # Any interruption — KeyboardInterrupt included — must
+            # drop the partial temp file, then re-raise the *original*
+            # exception; suppress() keeps a failed unlink out of the
+            # exception context so the traceback stays attributable.
+            with contextlib.suppress(OSError):
                 os.unlink(tmp)
-            except OSError:
-                pass
             raise
+        # Fault-injection hook (no-op unless REPRO_FAULTS is set):
+        # a matching "corrupt" fault truncates the entry just written,
+        # modelling a torn write for the quarantine machinery to catch.
+        if should_corrupt(descriptor_label(descriptor)
+                          if descriptor else key):
+            path.write_text(f'{{"key": "{key}", "schema"',
+                            encoding="utf-8")
 
     def __len__(self) -> int:
         """Number of entries currently on disk."""
@@ -151,9 +209,11 @@ class ResultCache:
     def stats(self) -> dict:
         """Size accounting for long-running sweep campaigns.
 
-        Returns ``entries`` (count), ``bytes`` (payload total) and the
+        Returns ``entries`` (count), ``bytes`` (payload total), the
         ``oldest``/``newest`` entry modification times (Unix seconds;
-        ``None`` when the cache is empty).
+        ``None`` when the cache is empty) and ``quarantined`` — the
+        number of corrupt entries sitting in the quarantine directory
+        (from every run, not just this process).
         """
         entries = self._entries()
         return {
@@ -161,6 +221,9 @@ class ResultCache:
             "bytes": sum(size for _, size, _ in entries),
             "oldest": entries[0][0] if entries else None,
             "newest": entries[-1][0] if entries else None,
+            "quarantined": sum(
+                1 for _ in self.quarantine_root.glob("*.json"))
+            if self.quarantine_root.is_dir() else 0,
         }
 
     def prune(self, max_entries: int | None = None,

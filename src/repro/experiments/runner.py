@@ -64,7 +64,12 @@ def run_figure(spec: FigureSpec, cycles: int = DEFAULT_CYCLES,
 
 
 def format_figure(result: FigureResult) -> str:
-    """ASCII rendering of a figure, bars grouped as in the paper."""
+    """ASCII rendering of a figure, bars grouped as in the paper.
+
+    Cells missing from ``result.values`` (partial-results mode: the
+    cell failed after retries) render ``FAILED`` instead of a value —
+    a degraded figure is visibly degraded, never silently sparse.
+    """
     spec = result.spec
     lines = [f"{spec.fig_id}: {spec.title}",
              f"(metric: {spec.metric.upper()}, {result.cycles} measured "
@@ -75,9 +80,11 @@ def format_figure(result: FigureResult) -> str:
     lines.append("-" * len(header))
     for workload in spec.workloads:
         for policy in spec.policies:
-            cells = "".join(
-                f"{result.value(workload, engine, policy):13.2f}"
-                for engine in spec.engines)
+            cells = ""
+            for engine in spec.engines:
+                value = result.values.get((workload, engine, policy))
+                cells += f"{value:13.2f}" if value is not None \
+                    else f"{'FAILED':>13s}"
             lines.append(f"{workload:10s} {policy:14s}{cells}")
     return "\n".join(lines)
 

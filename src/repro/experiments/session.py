@@ -18,17 +18,30 @@ exploits that structure:
   every cell a worker receives.  ``jobs > 1`` stripes the batches
   across worker processes via
   :class:`concurrent.futures.ProcessPoolExecutor` (``jobs=1`` stays
-  fully in-process, which is what the test suite uses).
+  fully in-process, which is what the test suite uses);
+* **Fault tolerance** — stripes run as individual futures and each
+  completed stripe is persisted *immediately*, so a crash at hour two
+  of a campaign loses only in-flight cells.  A broken worker, an
+  in-worker exception or a wall-clock timeout sends the affected cells
+  to per-cell recovery: isolated child processes
+  (:mod:`repro.resilience.isolate`) with a configurable retry budget
+  and deterministic backoff (:class:`repro.resilience.RetryPolicy`).
+  Cells that stay dead become :class:`repro.resilience.CellFailure`
+  records — raised as :class:`repro.resilience.CellExecutionError` in
+  strict mode, returned as partial results otherwise.
 
 Results are bit-identical to serial execution: each cell's simulation
 is deterministic given (seed, config), every backend is
-golden-parity-validated against the reference loop, and workers share
-nothing.
+golden-parity-validated against the reference loop, workers share
+nothing, and a *retried* cell therefore reproduces exactly the result
+its crashed attempt would have produced.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.backend import get_backend
@@ -37,6 +50,13 @@ from repro.core.metrics import SimResult
 from repro.experiments.cache import ResultCache, cell_descriptor, cell_key
 from repro.experiments.figures import FigureSpec
 from repro.experiments.paper_data import Claim
+from repro.resilience.faults import fault_label, maybe_fire
+from repro.resilience.isolate import run_cell_isolated
+from repro.resilience.policy import (
+    CellExecutionError,
+    CellFailure,
+    RetryPolicy,
+)
 
 DEFAULT_CYCLES = 20_000
 """Measured window for figure regeneration (per grid cell)."""
@@ -69,6 +89,10 @@ def _execute_batch(cells: list[Cell]) -> list[SimResult]:
     where per-batch amortisation (shared tables) happens.  Results come
     back in input order.
     """
+    for cell in cells:
+        # Fault-injection hook (no-op unless REPRO_FAULTS is set):
+        # fires inside the worker, which is where real faults strike.
+        maybe_fire(fault_label(cell))
     by_backend: dict[str, list[int]] = {}
     for i, cell in enumerate(cells):
         by_backend.setdefault(cell.config.backend, []).append(i)
@@ -106,6 +130,23 @@ class ExperimentSession:
             the session's default config (cells built with an explicit
             ``config`` override keep that config's backend).  Validated
             eagerly so typos fail before any simulation runs.
+        retries: Re-execution budget per failed cell (crash, exception
+            or timeout); retried cells are deterministic given
+            (seed, config), so recovery never changes a result.
+        retry_backoff: Base seconds of the deterministic exponential
+            backoff between attempts (retry ``n`` waits
+            ``retry_backoff * 2**(n-1)``).
+        cell_timeout: Per-cell wall-clock budget in seconds.  A cell
+            still running past it is killed and retried/failed instead
+            of wedging the campaign.  Also routes ``jobs=1`` execution
+            through isolated child processes so the timeout is
+            enforceable.
+        strict: Default failure mode of :meth:`run_cells`: ``True``
+            raises :class:`~repro.resilience.CellExecutionError` when
+            cells remain failed after retries (completed results are
+            stored first), ``False`` returns partial results and
+            records :class:`~repro.resilience.CellFailure` entries in
+            ``self.failures`` / ``self.last_failures``.
     """
 
     def __init__(self, jobs: int = 1, cache_dir=None,
@@ -113,7 +154,11 @@ class ExperimentSession:
                  cycles: int = DEFAULT_CYCLES,
                  warmup: int | None = None,
                  cache_budget_entries: int | None = None,
-                 backend: str | None = None) -> None:
+                 backend: str | None = None,
+                 retries: int = 0,
+                 retry_backoff: float = 0.0,
+                 cell_timeout: float | None = None,
+                 strict: bool = True) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if cache_budget_entries is not None and cache_budget_entries < 0:
@@ -128,9 +173,17 @@ class ExperimentSession:
         self.warmup = warmup
         self.disk = ResultCache(cache_dir) if cache_dir is not None else None
         self.cache_budget_entries = cache_budget_entries
+        self.retry = RetryPolicy(retries=retries, backoff=retry_backoff,
+                                 cell_timeout=cell_timeout)
+        self.strict = strict
         self._memo: dict[str, SimResult] = {}
+        # Execution attempts scheduled: equals distinct cells simulated
+        # on a healthy run; under faults, retries count too (so the
+        # accounting shows recovery work, not just coverage).
         self.simulated = 0
         self.memo_hits = 0
+        self.failures: list[CellFailure] = []
+        self.last_failures: tuple[CellFailure, ...] = ()
 
     # ------------------------------------------------------------------
     # lifecycle / cache maintenance
@@ -188,17 +241,30 @@ class ExperimentSession:
     # execution
     # ------------------------------------------------------------------
 
-    def run_cells(self, cells) -> dict[Cell, SimResult]:
+    def run_cells(self, cells,
+                  strict: bool | None = None) -> dict[Cell, SimResult]:
         """Execute (or recall) a batch of cells; misses run in parallel.
 
         Cells are deduplicated by content key first, so overlapping
         figures cost one simulation per distinct cell.  Cells may mix
         machine configurations: each runs under its own ``config``.
+
+        Every completed cell is persisted as soon as its stripe
+        finishes, so interrupting a campaign loses only in-flight
+        work.  Cells that stay failed after the session's retry budget
+        become :class:`~repro.resilience.CellFailure` records: with
+        ``strict`` (default: the session's setting) they raise a
+        :class:`~repro.resilience.CellExecutionError`; otherwise they
+        are simply absent from the returned mapping and recorded in
+        ``self.last_failures`` / ``self.failures``.
         """
+        strict = self.strict if strict is None else strict
         cells = list(cells)
         by_key: dict[str, Cell] = {}
+        keys: dict[Cell, str] = {}
         for cell in cells:
-            by_key.setdefault(self.key_for(cell), cell)
+            key = keys.setdefault(cell, self.key_for(cell))
+            by_key.setdefault(key, cell)
 
         results: dict[str, SimResult] = {}
         misses: list[str] = []
@@ -209,37 +275,210 @@ class ExperimentSession:
             else:
                 misses.append(key)
 
+        failures: dict[str, CellFailure] = {}
         if misses:
-            miss_cells = [by_key[key] for key in misses]
-            if self.jobs > 1 and len(misses) > 1:
-                # Stripe cells across workers: each worker gets one
-                # batch (so its backend amortises setup over many
-                # cells), and striping keeps per-worker load balanced
-                # when neighbouring cells have similar cost.
-                workers = min(self.jobs, len(misses))
-                stripes = [miss_cells[w::workers] for w in range(workers)]
-                simulated: list[SimResult | None] = [None] * len(misses)
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    for w, stripe_results in enumerate(
-                            pool.map(_execute_batch, stripes)):
-                        simulated[w::workers] = stripe_results
-            else:
-                simulated = _execute_batch(miss_cells)
-            self.simulated += len(misses)
-            for key, result in zip(misses, simulated):
-                self._store(key, by_key[key], result)
-                results[key] = result
+            for key, outcome in self._execute_misses(misses,
+                                                     by_key).items():
+                if isinstance(outcome, CellFailure):
+                    failures[key] = outcome
+                else:
+                    results[key] = outcome
 
-        return {cell: results[self.key_for(cell)] for cell in cells}
+        self.last_failures = tuple(failures.values())
+        self.failures.extend(failures.values())
+        if failures and strict:
+            raise CellExecutionError(failures.values())
+        return {cell: results[keys[cell]] for cell in cells
+                if keys[cell] in results}
+
+    # ------------------------------------------------------------------
+    # miss execution (fault-tolerant)
+    # ------------------------------------------------------------------
+
+    def _execute_misses(self, misses: list[str],
+                        by_key: dict[str, Cell]) -> dict:
+        """Run every missing cell; returns key -> SimResult|CellFailure.
+
+        Successful results are stored (memo + disk) *before* this
+        returns — incrementally, as stripes complete — so a crash of
+        the driving process never loses finished work.
+        """
+        workers = min(self.jobs, len(misses))
+        if workers > 1:
+            return self._run_striped(misses, by_key, workers)
+        return self._run_serial(misses, by_key)
+
+    def _run_serial(self, misses: list[str],
+                    by_key: dict[str, Cell]) -> dict:
+        """In-process execution, one cell at a time, stored as it goes.
+
+        With a ``cell_timeout`` configured (or ``jobs > 1``, meaning
+        the caller asked for worker-fault tolerance) each attempt runs
+        in an isolated child process so hangs and crashes are
+        recoverable; otherwise cells run inline, which is what the
+        test suite and warm-cache paths use.
+        """
+        isolate = self.retry.cell_timeout is not None or self.jobs > 1
+        return {key: self._run_with_retries(key, by_key[key],
+                                            isolate=isolate)
+                for key in misses}
+
+    def _run_striped(self, misses: list[str], by_key: dict[str, Cell],
+                     workers: int) -> dict:
+        """Pool execution: per-stripe futures, incremental persistence.
+
+        Each worker gets one stripe (so its backend amortises setup
+        over many cells; striping keeps per-worker load balanced when
+        neighbouring cells have similar cost).  Stripes complete
+        independently: each one's results are stored the moment its
+        future resolves.  A broken pool, an in-worker exception or a
+        blown wall-clock budget routes the affected stripe's cells to
+        per-cell isolated recovery instead of killing the campaign.
+        """
+        stripes = [misses[w::workers] for w in range(workers)]
+        outcomes: dict = {}
+        needs_recovery: dict[str, str] = {}      # key -> first error
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = {
+                pool.submit(_execute_batch,
+                            [by_key[key] for key in stripe]): stripe
+                for stripe in stripes}
+            self.simulated += len(misses)
+            deadline = None
+            if self.retry.cell_timeout is not None:
+                longest = max(len(stripe) for stripe in stripes)
+                deadline = time.monotonic() \
+                    + self.retry.cell_timeout * longest + 1.0
+            pending = set(futures)
+            while pending:
+                budget = None if deadline is None \
+                    else max(0.0, deadline - time.monotonic())
+                done, pending = wait(pending, timeout=budget,
+                                     return_when=FIRST_COMPLETED)
+                if not done:
+                    # Wall-clock budget blown: the stripes still
+                    # running are presumed hung.  Kill the pool and
+                    # hand their cells to per-cell recovery, where the
+                    # timeout is enforced precisely.
+                    for future in pending:
+                        for key in futures[future]:
+                            needs_recovery[key] = (
+                                f"stripe exceeded its wall-clock "
+                                f"budget ({self.retry.cell_timeout}s "
+                                f"per cell)")
+                    self._abandon_pool(pool)
+                    pool = None
+                    break
+                for future in done:
+                    stripe = futures[future]
+                    try:
+                        stripe_results = future.result()
+                    except BrokenProcessPool:
+                        for key in stripe:
+                            needs_recovery[key] = (
+                                "worker crashed (BrokenProcessPool)")
+                    except Exception as exc:
+                        for key in stripe:
+                            needs_recovery[key] = repr(exc)
+                    else:
+                        for key, result in zip(stripe, stripe_results):
+                            self._store(key, by_key[key], result)
+                            outcomes[key] = result
+        except BaseException:
+            # Error/interrupt: drop queued stripes (don't block on
+            # work nobody will read) and kill the workers.  Completed
+            # stripes were already stored above.
+            self._abandon_pool(pool)
+            pool = None
+            raise
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+        # Per-cell recovery, in deterministic miss order.  The stripe
+        # attempt consumed one attempt of each cell's budget.
+        for key in misses:
+            if key in needs_recovery:
+                outcomes[key] = self._run_with_retries(
+                    key, by_key[key], used=1, isolate=True,
+                    prior_error=needs_recovery[key])
+        return outcomes
+
+    @staticmethod
+    def _abandon_pool(pool: ProcessPoolExecutor | None) -> None:
+        """Tear down a pool that may contain hung or dead workers.
+
+        ``shutdown`` alone would join workers that will never return;
+        killing them first makes teardown bounded.  (``_processes`` is
+        a private attribute, so fail soft if it moves.)
+        """
+        if pool is None:
+            return
+        processes = list((getattr(pool, "_processes", None) or {})
+                         .values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            try:
+                proc.kill()
+            except OSError:
+                pass
+        for proc in processes:
+            try:
+                proc.join(1.0)
+            except (OSError, AssertionError):
+                pass
+
+    def _run_with_retries(self, key: str, cell: Cell, *, used: int = 0,
+                          isolate: bool = False,
+                          prior_error: str | None = None):
+        """Attempt one cell up to its remaining budget; store on success.
+
+        ``used`` attempts were already consumed upstream (the stripe
+        attempt); ``prior_error`` is their diagnosis.  Returns the
+        ``SimResult`` or a :class:`CellFailure`.  Retries wait out the
+        policy's deterministic exponential backoff, and isolated
+        attempts enforce the per-cell timeout.
+        """
+        last_error = prior_error
+        attempts = used
+        start = time.monotonic()
+        while attempts < self.retry.attempts:
+            attempts += 1
+            if attempts > 1:
+                delay = self.retry.delay(attempts - 1)
+                if delay:
+                    time.sleep(delay)
+            self.simulated += 1
+            try:
+                if isolate:
+                    result = run_cell_isolated(
+                        cell, timeout=self.retry.cell_timeout)
+                else:
+                    result = _execute_cell(cell)
+            except Exception as exc:
+                last_error = repr(exc)
+                continue
+            self._store(key, cell, result)
+            return result
+        return CellFailure(
+            key=key, label=fault_label(cell), attempts=attempts,
+            error=last_error or "retry budget exhausted",
+            elapsed=time.monotonic() - start)
 
     def measure(self, workload, engine: str, policy: str,
                 cycles: int | None = None,
                 config: SimConfig | None = None,
                 warmup: int | None = None) -> SimResult:
-        """Run (or recall) one grid cell."""
+        """Run (or recall) one grid cell.
+
+        Always strict: a single-cell request has no useful partial
+        result, so a dead cell raises ``CellExecutionError`` even on a
+        partial-mode session.
+        """
         cell = self.make_cell(workload, engine, policy, cycles, warmup,
                               config)
-        return self.run_cells([cell])[cell]
+        return self.run_cells([cell], strict=True)[cell]
 
     def _lookup(self, key: str) -> SimResult | None:
         result = self._memo.get(key)
@@ -342,4 +581,6 @@ class ExperimentSession:
         if self.disk is not None:
             parts.append(f"{self.disk.hits} disk hit(s) "
                          f"[{self.disk.root}]")
+        if self.failures:
+            parts.append(f"{len(self.failures)} cell(s) FAILED")
         return ", ".join(parts)

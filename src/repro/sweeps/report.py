@@ -4,6 +4,14 @@ All three formats are *deterministic* functions of the
 :class:`~repro.sweeps.run.SweepResult` — no timestamps, durations or
 hostnames — so a warm-cache re-run regenerates byte-identical reports
 (execution accounting belongs on stderr, where the CLIs put it).
+
+Failed cells (partial-results mode) are rendered *explicitly*: design
+points that lost replicates show their reduced ``n`` and a missing
+count, fully-dead points render ``FAILED`` rather than vanishing, and
+every format carries the per-cell failure records — a report can
+therefore never pass off a degraded sweep as a complete one.
+(Failure *timings* are deliberately excluded: they are the one
+nondeterministic field of a failure record.)
 """
 
 from __future__ import annotations
@@ -40,19 +48,29 @@ def format_markdown(result: SweepResult) -> str:
     if seeds:
         lines += [f"Replicated over {len(seeds)} seed(s); cells report "
                   "mean ± 95% CI (Student t)."]
+    if result.failures:
+        lines += [f"**WARNING: {len(result.failures)} cell(s) failed "
+                  "after retries — affected points below are partial "
+                  "or FAILED (see Failed cells).**"]
     lines += ["", "| " + " | ".join(axes)
               + f" | n | mean {metric} | 95% CI | stdev | "
               + f"{'ipfc' if metric == 'ipc' else 'ipc'} | speedup |",
               "|" + "---|" * (len(axes) + 6)]
     other = "ipfc" if metric == "ipc" else "ipc"
     for point in result.points:
-        stats = point.stats[metric]
         cells = [axis_label(axis, point.point[axis]) for axis in axes]
+        if point.stats is None:
+            lines.append("| " + " | ".join(cells)
+                         + " | 0 | FAILED | - | - | - | - |")
+            continue
+        stats = point.stats[metric]
+        n = str(stats.n) if not point.missing \
+            else f"{stats.n} ({point.missing} failed)"
         speedup = "baseline" if point.is_baseline else (
             f"{point.speedup:.3f}x" if point.speedup is not None else "-")
         lines.append(
             "| " + " | ".join(cells)
-            + f" | {stats.n} | {stats.mean:.3f} | ±{stats.ci95:.3f} | "
+            + f" | {n} | {stats.mean:.3f} | ±{stats.ci95:.3f} | "
             + f"{stats.stdev:.3f} | {point.stats[other].mean:.3f} | "
             + f"{speedup} |")
     if result.sensitivity:
@@ -61,6 +79,17 @@ def format_markdown(result: SweepResult) -> str:
                   "(averaged over all other axes):", ""]
         for axis, rel in result.sensitivity:
             lines.append(f"- `{axis}`: {rel:.1%}")
+    if result.failures:
+        lines += ["", "## Failed cells", "",
+                  f"{len(result.failures)} cell(s) exhausted the retry "
+                  "budget; their replicates are missing above.", ""]
+        for failure in result.failures:
+            # The key prefix disambiguates cells whose label collides
+            # (the label omits swept SimConfig fields); content keys
+            # are deterministic, so the report stays reproducible.
+            lines.append(f"- `{failure.label}` [{failure.key[:12]}] "
+                         f"({failure.attempts} attempt(s)): "
+                         f"{failure.error}")
     lines.append("")
     return "\n".join(lines)
 
@@ -72,13 +101,22 @@ def format_csv(result: SweepResult) -> str:
     header = list(axes) + fixed + ["n"]
     for metric in METRICS:
         header += [f"mean_{metric}", f"stdev_{metric}", f"ci95_{metric}"]
-    header += ["speedup", "is_baseline"]
+    header += ["speedup", "is_baseline", "missing"]
     out = io.StringIO()
     writer = csv.writer(out, lineterminator="\n")
     writer.writerow(header)
     for point in result.points:
         row = [axis_label(axis, point.point[axis]) for axis in axes]
         row += [str(result.fixed[axis]) for axis in fixed]
+        if point.stats is None:
+            # Fully-failed point: zero replicates, empty metric cells
+            # (a parser cannot mistake it for measured data).
+            row += ["0"] + [""] * (3 * len(METRICS)) + ["",
+                                                        int(point
+                                                            .is_baseline),
+                                                        point.missing]
+            writer.writerow(row)
+            continue
         row.append(point.stats[result.spec.metric].n)
         for metric in METRICS:
             stats = point.stats[metric]
@@ -87,6 +125,7 @@ def format_csv(result: SweepResult) -> str:
         row.append("" if point.speedup is None
                    else f"{point.speedup:.6f}")
         row.append(int(point.is_baseline))
+        row.append(point.missing)
         writer.writerow(row)
     return out.getvalue()
 
@@ -111,17 +150,23 @@ def format_json(result: SweepResult) -> str:
             {
                 "point": {axis: axis_label(axis, value)
                           for axis, value in point.point.items()},
-                "n": point.stats[spec.metric].n,
+                "n": point.stats[spec.metric].n
+                if point.stats is not None else 0,
                 "metrics": {
                     metric: {"mean": stats.mean, "stdev": stats.stdev,
                              "ci95": stats.ci95}
-                    for metric, stats in point.stats.items()},
+                    for metric, stats in point.stats.items()}
+                if point.stats is not None else None,
                 "speedup": point.speedup,
                 "is_baseline": point.is_baseline,
+                "missing": point.missing,
             }
             for point in result.points],
         "sensitivity": [{"axis": axis, "relative_range": rel}
                         for axis, rel in result.sensitivity],
+        "failures": [{"key": f.key, "label": f.label,
+                      "attempts": f.attempts, "error": f.error}
+                     for f in result.failures],
     }
     return json.dumps(doc, indent=2) + "\n"
 

@@ -208,7 +208,8 @@ class TestCacheMaintenance:
     def test_stats_on_empty_cache(self, tmp_path):
         stats = ResultCache(tmp_path / "nothing").stats()
         assert stats == {"entries": 0, "bytes": 0,
-                         "oldest": None, "newest": None}
+                         "oldest": None, "newest": None,
+                         "quarantined": 0}
 
     def test_prune_max_entries_evicts_oldest_first(self, tmp_path):
         cache = self.filled(tmp_path, n=4)

@@ -1,0 +1,168 @@
+"""Failure propagation through sweeps: aggregation, reports, CLI.
+
+A degraded sweep must be *visibly* degraded everywhere downstream:
+reduced replicate counts in the tables, explicit FAILED markers for
+dead points, failure records in every format, and a non-zero exit
+from the CLI.
+"""
+
+import csv
+import importlib.util
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentSession
+from repro.resilience import CellExecutionError, FaultSpec, inject_faults
+from repro.sweeps import (
+    SweepSpec,
+    format_csv,
+    format_json,
+    format_markdown,
+    run_sweep,
+)
+
+FAST = dict(cycles=300, warmup=150)
+SCRIPTS = Path(__file__).resolve().parents[2] / "scripts"
+
+
+def load_cli():
+    spec = importlib.util.spec_from_file_location(
+        "run_sweep_cli_resilience", SCRIPTS / "run_sweep.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+cli = load_cli()
+
+
+def policy_spec(seeds=2) -> SweepSpec:
+    return SweepSpec.of(
+        "tiny", {"policy": ("ICOUNT.1.8", "RR.1.8"),
+                 "workload": (("gzip",),), "engine": ("stream",)},
+        metric="ipc").with_seeds(seeds)
+
+
+def partial_sweep(tmp_path, match, **session_kwargs):
+    session = ExperimentSession(cache_dir=tmp_path / "cache",
+                                strict=False, **FAST, **session_kwargs)
+    with inject_faults(FaultSpec(kind="raise", match=match, times=100),
+                       spool=tmp_path / "spool"):
+        return run_sweep(policy_spec(), session)
+
+
+class TestAggregation:
+    def test_lost_replicates_become_missing_counts(self, tmp_path):
+        result = partial_sweep(tmp_path, "seed1")
+        assert len(result.failures) == 2
+        for point in result.points:
+            assert point.missing == 1
+            assert point.stats is not None
+            assert point.stats["ipc"].n == 1
+
+    def test_fully_dead_point_has_none_stats(self, tmp_path):
+        result = partial_sweep(tmp_path, "RR.1.8")
+        dead = next(p for p in result.points
+                    if p.point["policy"] == "RR.1.8")
+        alive = next(p for p in result.points
+                     if p.point["policy"] == "ICOUNT.1.8")
+        assert dead.stats is None and dead.missing == 2
+        assert dead.speedup is None
+        assert alive.stats is not None and alive.is_baseline
+
+    def test_dead_baseline_nulls_every_speedup(self, tmp_path):
+        result = partial_sweep(tmp_path, "ICOUNT.1.8")
+        assert all(p.speedup is None for p in result.points)
+
+    def test_strict_sweep_raises_instead(self, tmp_path):
+        session = ExperimentSession(cache_dir=tmp_path / "cache",
+                                    **FAST)
+        with inject_faults(FaultSpec(kind="raise", match="seed1",
+                                     times=100),
+                           spool=tmp_path / "spool"):
+            with pytest.raises(CellExecutionError):
+                run_sweep(policy_spec(), session)
+
+
+class TestReports:
+    def test_markdown_marks_partial_and_dead_points(self, tmp_path):
+        md = format_markdown(partial_sweep(tmp_path, "RR.1.8"))
+        assert "WARNING: 2 cell(s) failed" in md
+        assert "| 0 | FAILED | - | - | - | - |" in md
+        assert "## Failed cells" in md
+        assert "InjectedFault" in md
+
+    def test_markdown_shows_reduced_replicate_counts(self, tmp_path):
+        md = format_markdown(partial_sweep(tmp_path, "seed1"))
+        assert "1 (1 failed)" in md
+
+    def test_csv_missing_column_and_empty_dead_rows(self, tmp_path):
+        text = format_csv(partial_sweep(tmp_path, "RR.1.8"))
+        rows = list(csv.DictReader(io.StringIO(text)))
+        by_policy = {row["policy"]: row for row in rows}
+        assert by_policy["ICOUNT.1.8"]["missing"] == "0"
+        dead = by_policy["RR.1.8"]
+        assert dead["missing"] == "2"
+        assert dead["n"] == "0"
+        assert dead["mean_ipc"] == "" and dead["speedup"] == ""
+
+    def test_json_carries_failure_records(self, tmp_path):
+        doc = json.loads(format_json(partial_sweep(tmp_path, "RR.1.8")))
+        assert len(doc["failures"]) == 2
+        for failure in doc["failures"]:
+            assert failure["attempts"] == 1
+            assert "RR.1.8" in failure["label"]
+            assert "InjectedFault" in failure["error"]
+        dead = next(p for p in doc["points"]
+                    if p["point"]["policy"] == "RR.1.8")
+        assert dead["n"] == 0 and dead["metrics"] is None
+        assert dead["missing"] == 2
+
+    def test_healthy_sweep_reports_are_unchanged_shape(self, tmp_path):
+        session = ExperimentSession(cache_dir=tmp_path / "cache",
+                                    **FAST)
+        result = run_sweep(policy_spec(), session)
+        md = format_markdown(result)
+        assert "WARNING" not in md and "Failed cells" not in md
+        doc = json.loads(format_json(result))
+        assert doc["failures"] == []
+        assert all(p["missing"] == 0 for p in doc["points"])
+
+
+class TestCLI:
+    ARGS = ["--axis", "policy=ICOUNT.1.8,RR.1.8",
+            "--axis", "workload=2_MIX", "--seeds", "2",
+            "--cycles", "300", "--warmup", "150"]
+
+    def run_cli(self, tmp_path, *extra):
+        out = tmp_path / "report.md"
+        cli.main([*self.ARGS, "--cache-dir", str(tmp_path / "cache"),
+                  "--output", str(out), *extra])
+        return out
+
+    def test_partial_mode_exits_3_but_writes_report(self, tmp_path):
+        with inject_faults(FaultSpec(kind="raise", match="RR.1.8",
+                                     times=100),
+                           spool=tmp_path / "spool"):
+            with pytest.raises(SystemExit) as info:
+                self.run_cli(tmp_path, "--retries", "1")
+        assert info.value.code == 3
+        report = (tmp_path / "report.md").read_text(encoding="utf-8")
+        assert "## Failed cells" in report
+        assert "2 attempt(s)" in report
+
+    def test_strict_mode_aborts_with_message(self, tmp_path):
+        with inject_faults(FaultSpec(kind="raise", match="RR.1.8",
+                                     times=100),
+                           spool=tmp_path / "spool"):
+            with pytest.raises(SystemExit) as info:
+                self.run_cli(tmp_path, "--strict")
+        assert "--no-strict" in str(info.value.code)
+        assert not (tmp_path / "report.md").exists()
+
+    def test_healthy_run_exits_clean(self, tmp_path):
+        out = self.run_cli(tmp_path)
+        assert "Failed cells" not in out.read_text(encoding="utf-8")
