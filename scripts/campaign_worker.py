@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Drain one campaign's cell queue as a standalone worker.
+
+Usage::
+
+    python scripts/run_sweep.py --sweep ... --plan-only   # prints <id>
+    python scripts/campaign_worker.py \
+        --campaign .repro-cache/campaigns/<id> &   # as many as you like
+    python scripts/campaign_worker.py \
+        --campaign .repro-cache/campaigns/<id> --no-wait
+
+Any number of workers — sibling processes or separate invocations on a
+shared filesystem — may point at the same campaign directory: the
+SQLite queue's lease/ack protocol partitions the cells among them, and
+every completed result lands in the shared content-addressed cache
+*before* its queue row is acked.  When the queue is drained, re-running
+the planning CLI with ``--resume <id>`` assembles the report from the
+cache with zero simulations.
+
+Workers are crash-safe by construction: a worker that dies mid-lease
+forfeits only its in-flight cells, which return to the queue when
+their lease deadline expires (or immediately, if a supervisor releases
+them).  Restarting a worker — or starting a different one — resumes
+exactly where the campaign left off.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.campaign.manifest import MANIFEST_NAME, QUEUE_NAME
+from repro.campaign.queue import CellQueue
+from repro.campaign.worker import DEFAULT_LEASE_SECONDS, \
+    DEFAULT_POLL_SECONDS, drain
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Drain a planned campaign's cell queue.")
+    parser.add_argument("--campaign", required=True, metavar="DIR",
+                        help="campaign directory (holds "
+                             f"{MANIFEST_NAME} and {QUEUE_NAME}), as "
+                             "planned by run_sweep.py/run_experiments.py "
+                             "--plan-only")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="shared result cache to write completed "
+                             f"cells into (default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not write a result cache (results "
+                             "still land in the queue rows)")
+    parser.add_argument("--worker-id", default=None,
+                        help="lease owner name (default: "
+                             "worker-<hostname>-<pid>)")
+    parser.add_argument("--lease-batch", type=int, default=8,
+                        help="cells to claim per lease round "
+                             "(default: 8)")
+    parser.add_argument("--lease-seconds", type=float,
+                        default=DEFAULT_LEASE_SECONDS,
+                        help="lease deadline; a worker silent this long "
+                             "forfeits its cells (default: "
+                             f"{DEFAULT_LEASE_SECONDS:g})")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-cell wall-clock budget; runs each "
+                             "attempt in an isolated child process "
+                             "(default: unlimited, in-process)")
+    parser.add_argument("--poll", type=float,
+                        default=DEFAULT_POLL_SECONDS,
+                        help="sleep between empty lease rounds "
+                             f"(default: {DEFAULT_POLL_SECONDS:g})")
+    parser.add_argument("--no-wait", action="store_true",
+                        help="exit at the first empty lease round "
+                             "instead of waiting for other workers' "
+                             "leases and retry backoffs to resolve")
+    args = parser.parse_args(argv)
+    if args.lease_batch < 1:
+        parser.error(f"--lease-batch must be >= 1, got "
+                     f"{args.lease_batch}")
+    if args.lease_seconds <= 0:
+        parser.error(f"--lease-seconds must be > 0, got "
+                     f"{args.lease_seconds}")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error(f"--cell-timeout must be > 0, got "
+                     f"{args.cell_timeout}")
+    return args
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    queue_file = os.path.join(args.campaign, QUEUE_NAME)
+    if not os.path.exists(queue_file):
+        raise SystemExit(
+            f"campaign_worker: no queue at {queue_file} — plan the "
+            "campaign first (run_sweep.py/run_experiments.py "
+            "--plan-only with a --campaign-dir)")
+    try:
+        with open(os.path.join(args.campaign, MANIFEST_NAME),
+                  encoding="utf-8") as fh:
+            cid = json.load(fh)["campaign"]
+    except (OSError, ValueError, KeyError):
+        cid = os.path.basename(os.path.normpath(args.campaign))
+    worker_id = args.worker_id or \
+        f"worker-{os.uname().nodename}-{os.getpid()}"
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    print(f"[campaign_worker] {worker_id} draining campaign {cid}",
+          file=sys.stderr)
+    t0 = time.time()
+    queue = CellQueue(queue_file)
+    try:
+        stats = drain(queue, worker_id=worker_id, cache=cache,
+                      cell_timeout=args.cell_timeout,
+                      lease_batch=args.lease_batch,
+                      lease_seconds=args.lease_seconds,
+                      poll=args.poll, wait=not args.no_wait)
+        counts = queue.counts()
+    finally:
+        queue.close()
+    print(f"[campaign_worker] {worker_id}: {stats.executed} cell(s) "
+          f"executed, {stats.failed} failed attempt(s), {stats.leases} "
+          f"lease round(s) in {time.time() - t0:.1f} s; queue now "
+          + " ".join(f"{state}={n}" for state, n
+                     in sorted(counts.items())), file=sys.stderr)
+    if counts.get("failed"):
+        raise SystemExit(3)
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,17 @@ persistent content-addressed cache (``--cache-dir``, default
 with zero simulations executed.  Results are cell-for-cell identical
 to a serial run: each simulation is deterministic given (seed, config).
 
+Every run plans a **campaign** (see :mod:`repro.campaign`): the full
+deduplicated grid is content-hashed into a campaign id (printed to
+stderr and stamped into the output), and with a persistent cache the
+campaign's manifest and durable cell queue live under
+``--campaign-dir`` (default: ``<cache-dir>/campaigns``).
+``--plan-only`` writes that state and prints the id without executing
+(drain it with ``scripts/campaign_worker.py``); ``--resume <id>``
+asserts this invocation continues that exact campaign;
+``--verify-cache`` audits every cache entry up front, quarantining
+corrupt ones.
+
 A bare integer positional argument is still accepted as the cycle
 count for backward compatibility with the old
 ``run_experiments.py [cycles]`` form.
@@ -26,6 +37,7 @@ import json
 import statistics
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments import FIGURES, PAPER_CLAIMS, ExperimentSession, \
     format_claims, format_figure
@@ -87,6 +99,22 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent cache (in-process "
                              "memoisation only)")
+    parser.add_argument("--campaign-dir", default=None, metavar="DIR",
+                        help="root for durable campaign state "
+                             "(manifest + cell queue; default: "
+                             "<cache-dir>/campaigns, or ephemeral "
+                             "with --no-cache)")
+    parser.add_argument("--resume", default=None, metavar="CAMPAIGN_ID",
+                        help="require this invocation to continue the "
+                             "given campaign (error if the planned "
+                             "grid hashes to a different id)")
+    parser.add_argument("--plan-only", action="store_true",
+                        help="plan the campaign (manifest + queue "
+                             "under --campaign-dir), print its id to "
+                             "stdout and exit without simulating")
+    parser.add_argument("--verify-cache", action="store_true",
+                        help="before running, validate every cache "
+                             "entry and quarantine corrupt ones")
     parser.add_argument("--prune-cache", type=int, default=None,
                         metavar="MAX_ENTRIES",
                         help="after the run, evict the oldest cache "
@@ -131,6 +159,16 @@ def parse_args(argv=None) -> argparse.Namespace:
         parser.error("--prune-cache is meaningless with --no-cache")
     if args.cache_budget is not None and args.no_cache:
         parser.error("--cache-budget is meaningless with --no-cache")
+    if args.verify_cache and args.no_cache:
+        parser.error("--verify-cache is meaningless with --no-cache")
+    if args.campaign_dir is None and not args.no_cache:
+        args.campaign_dir = str(Path(args.cache_dir) / "campaigns")
+    if args.plan_only and args.campaign_dir is None:
+        parser.error("--plan-only needs a --campaign-dir (an ephemeral "
+                     "plan has nobody to execute it)")
+    if args.resume is not None and args.campaign_dir is None:
+        parser.error("--resume needs a --campaign-dir (ephemeral "
+                     "campaigns leave nothing to resume)")
     if args.cycles is None:
         args.cycles = args.legacy_cycles if args.legacy_cycles is not None \
             else 20_000
@@ -200,13 +238,18 @@ def superscalar_ipc(session: ExperimentSession) -> dict[str, float]:
 
 
 def emit_markdown(session: ExperimentSession, sections: set, fig_ids: set,
-                  cycles: int, t0: float) -> None:
+                  cycles: int, t0: float, campaign=None) -> None:
     print("# EXPERIMENTS — paper vs. measured")
     print()
     print("Regenerated by `python scripts/run_experiments.py "
           f"--cycles {cycles}`.")
     print(f"Measured window: {cycles} cycles per grid cell "
           "(Table 3 configuration, warm-up excluded).")
+    if campaign is not None:
+        # Content-derived provenance: the id hashes the planned cell
+        # set, so warm and cold regenerations stamp the same line.
+        print(f"Campaign `{campaign.campaign_id}` "
+              f"({campaign.cells} distinct cells).")
     print()
     print("Absolute numbers are not expected to match the paper (the")
     print("substrate is a synthetic-workload simulator, not the authors'")
@@ -309,8 +352,10 @@ def emit_markdown(session: ExperimentSession, sections: set, fig_ids: set,
 
 
 def emit_json(session: ExperimentSession, sections: set, fig_ids: set,
-              cycles: int, t0: float) -> None:
-    doc: dict = {"cycles": cycles}
+              cycles: int, t0: float, campaign=None) -> None:
+    doc: dict = {"cycles": cycles,
+                 "provenance": campaign.as_dict()
+                 if campaign is not None else None}
     if "table1" in sections:
         doc["table1"] = table1_rows()
     if "figures" in sections:
@@ -386,18 +431,47 @@ def run(args) -> None:
             cache_budget_entries=args.cache_budget,
             backend=args.backend,
             retries=args.retries, cell_timeout=args.cell_timeout,
-            strict=args.strict)
+            strict=args.strict,
+            campaign_dir=args.campaign_dir)
     except ValueError as exc:
         # An unknown --backend (with its suggestion list) is a user
         # error: report the message, not a traceback.
         raise SystemExit(f"run_experiments: {exc}") from None
+
+    if args.verify_cache:
+        audit = session.disk.verify()
+        print(f"[run_experiments] cache verify: {audit['checked']} "
+              f"checked, {audit['healthy']} healthy, "
+              f"{audit['quarantined']} quarantined", file=sys.stderr)
 
     t0 = time.time()
     # One up-front batch: every cell the selected sections will read,
     # deduplicated and fanned out across the worker pool.  The section
     # emitters below then run entirely against warm memoisation.
     cells = enumerate_cells(session, sections, fig_ids)
+    campaign = None
     if cells:
+        # The plan names the campaign before anything executes, so a
+        # mismatched --resume aborts without simulating a single cell.
+        campaign = session.plan(cells).info
+        if args.resume is not None \
+                and campaign.campaign_id != args.resume:
+            raise SystemExit(
+                f"run_experiments: --resume {args.resume} does not "
+                f"match this invocation's grid (plans to campaign "
+                f"{campaign.campaign_id}); re-run with the original "
+                "flags or drop --resume")
+        print(f"[run_experiments] campaign {campaign.campaign_id} "
+              f"({campaign.cells} distinct cells, {campaign.pending} "
+              "to simulate)", file=sys.stderr)
+        if args.plan_only:
+            info = session.plan_campaign(cells)
+            print(f"[run_experiments] campaign planned under "
+                  f"{args.campaign_dir}/{info.campaign_id} — drain it "
+                  "with scripts/campaign_worker.py", file=sys.stderr)
+            print(info.campaign_id)
+            session.close()
+            return
         try:
             session.run_cells(cells)
         except CellExecutionError as exc:
@@ -408,11 +482,16 @@ def run(args) -> None:
         print(f"[run_experiments] {session.summary()} "
               f"({time.time() - t0:.0f} s, jobs={args.jobs})",
               file=sys.stderr)
+    elif args.plan_only:
+        raise SystemExit("run_experiments: --plan-only selected no "
+                         "simulation cells (--only table1 has nothing "
+                         "to plan)")
 
     if args.fmt == "json":
-        emit_json(session, sections, fig_ids, args.cycles, t0)
+        emit_json(session, sections, fig_ids, args.cycles, t0, campaign)
     else:
-        emit_markdown(session, sections, fig_ids, args.cycles, t0)
+        emit_markdown(session, sections, fig_ids, args.cycles, t0,
+                      campaign)
 
     if args.prune_cache is not None and session.disk is not None:
         removed = session.disk.prune(max_entries=args.prune_cache)

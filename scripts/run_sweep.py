@@ -24,11 +24,23 @@ All cells execute through one content-addressed
 ``--jobs`` processes on cold cache, zero simulations on warm cache.
 Reports (``--format md|csv|json``) are deterministic, so a warm re-run
 reproduces them byte-for-byte; execution accounting goes to stderr.
+
+Every run plans a **campaign** (see :mod:`repro.campaign`): the grid
+is content-hashed into a campaign id (printed to stderr and stamped
+into every report), and with a persistent cache the campaign state —
+manifest + durable cell queue — lives under ``--campaign-dir``
+(default: ``<cache-dir>/campaigns``).  ``--plan-only`` writes that
+state and prints the id without executing, so external
+``scripts/campaign_worker.py`` processes can drain the queue;
+``--resume <id>`` asserts this invocation continues that exact
+campaign.  ``--verify-cache`` audits every cache entry up front,
+quarantining corrupt ones.
 """
 
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.backend import get_backend
 from repro.core.config import DEFAULT_CONFIG
@@ -45,6 +57,7 @@ from repro.sweeps import (
     run_sweep,
     validate_axis,
 )
+from repro.sweeps.run import expand_cells
 
 
 def parse_axis_flag(flag: str) -> tuple[str, tuple]:
@@ -172,6 +185,22 @@ def parse_args(argv=None) -> argparse.Namespace:
                              f"(default: {DEFAULT_CACHE_DIR})")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent cache")
+    parser.add_argument("--campaign-dir", default=None, metavar="DIR",
+                        help="root for durable campaign state "
+                             "(manifest + cell queue; default: "
+                             "<cache-dir>/campaigns, or ephemeral "
+                             "with --no-cache)")
+    parser.add_argument("--resume", default=None, metavar="CAMPAIGN_ID",
+                        help="require this invocation to continue the "
+                             "given campaign (error if the planned "
+                             "grid hashes to a different id)")
+    parser.add_argument("--plan-only", action="store_true",
+                        help="plan the campaign (manifest + queue "
+                             "under --campaign-dir), print its id to "
+                             "stdout and exit without simulating")
+    parser.add_argument("--verify-cache", action="store_true",
+                        help="before running, validate every cache "
+                             "entry and quarantine corrupt ones")
     parser.add_argument("--prune-cache", type=int, default=None,
                         metavar="MAX_ENTRIES",
                         help="after the run, evict the oldest cache "
@@ -216,6 +245,16 @@ def parse_args(argv=None) -> argparse.Namespace:
         parser.error("--prune-cache is meaningless with --no-cache")
     if args.cache_budget is not None and args.no_cache:
         parser.error("--cache-budget is meaningless with --no-cache")
+    if args.verify_cache and args.no_cache:
+        parser.error("--verify-cache is meaningless with --no-cache")
+    if args.campaign_dir is None and not args.no_cache:
+        args.campaign_dir = str(Path(args.cache_dir) / "campaigns")
+    if args.plan_only and args.campaign_dir is None:
+        parser.error("--plan-only needs a --campaign-dir (an ephemeral "
+                     "plan has nobody to execute it)")
+    if args.resume is not None and args.campaign_dir is None:
+        parser.error("--resume needs a --campaign-dir (ephemeral "
+                     "campaigns leave nothing to resume)")
     return args
 
 
@@ -236,7 +275,37 @@ def run(args) -> None:
         warmup=spec.warmup,
         cache_budget_entries=args.cache_budget,
         retries=args.retries, cell_timeout=args.cell_timeout,
-        strict=args.strict)
+        strict=args.strict,
+        campaign_dir=args.campaign_dir)
+
+    if args.verify_cache:
+        audit = session.disk.verify()
+        print(f"[run_sweep] cache verify: {audit['checked']} checked, "
+              f"{audit['healthy']} healthy, {audit['quarantined']} "
+              f"quarantined", file=sys.stderr)
+
+    # The plan names the campaign before anything executes, so a
+    # mismatched --resume aborts without simulating a single cell.
+    planned = session.plan([cell for _, cell
+                            in expand_cells(spec, session)]).info
+    if args.resume is not None and planned.campaign_id != args.resume:
+        raise SystemExit(
+            f"run_sweep: --resume {args.resume} does not match this "
+            f"invocation's grid (plans to campaign "
+            f"{planned.campaign_id}); re-run with the original flags "
+            "or drop --resume")
+    print(f"[run_sweep] campaign {planned.campaign_id} "
+          f"({planned.cells} distinct cells, {planned.pending} to "
+          f"simulate)", file=sys.stderr)
+    if args.plan_only:
+        info = session.plan_campaign([cell for _, cell
+                                      in expand_cells(spec, session)])
+        print(f"[run_sweep] campaign planned under "
+              f"{args.campaign_dir}/{info.campaign_id} — drain it with "
+              "scripts/campaign_worker.py", file=sys.stderr)
+        print(info.campaign_id)
+        session.close()
+        return
 
     t0 = time.time()
     print(f"[run_sweep] {spec.name}: {spec.n_cells()} cell(s), "

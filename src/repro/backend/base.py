@@ -103,12 +103,21 @@ class SimBackend(ABC):
         return machine.run(cell.cycles, warmup=cell.warmup)
 
     @classmethod
-    def run_cells(cls, cells) -> list[SimResult]:
-        """Execute a batch of cells; results in input order.
+    def run_cells_iter(cls, cells):
+        """Execute a batch lazily: yield each cell's result in order.
 
-        The base implementation runs cells independently; backends
-        override this to share per-batch state (the whole point of
-        :class:`~repro.backend.batched.BatchedBackend`).  Results must
-        stay byte-identical to per-cell execution regardless.
+        The incremental twin of :meth:`run_cells`, for callers that
+        ack/persist each cell as it completes (the campaign worker
+        loop) rather than holding a whole batch's results in flight.
+        Backends that amortise per-batch state override *this* —
+        sharing must happen across the generator's lifetime — and
+        inherit :meth:`run_cells` for free.  Results must stay
+        byte-identical to per-cell execution regardless.
         """
-        return [cls.simulate_cell(cell) for cell in cells]
+        for cell in cells:
+            yield cls.simulate_cell(cell)
+
+    @classmethod
+    def run_cells(cls, cells) -> list[SimResult]:
+        """Execute a batch of cells; results in input order."""
+        return list(cls.run_cells_iter(cells))

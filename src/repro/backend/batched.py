@@ -26,7 +26,6 @@ from __future__ import annotations
 from repro.backend.registry import register_backend
 from repro.backend.reference import ReferenceBackend
 from repro.core.config import SimConfig
-from repro.core.metrics import SimResult
 from repro.core.simulator import MachineTables
 from repro.core.workloads import resolve_workload
 
@@ -74,13 +73,16 @@ class BatchedBackend(ReferenceBackend):
                          else BatchTables())
 
     @classmethod
-    def run_cells(cls, cells) -> list[SimResult]:
-        """Run a batch with one shared :class:`BatchTables`."""
+    def run_cells_iter(cls, cells):
+        """Run a batch with one shared :class:`BatchTables`.
+
+        The tables live for the generator's lifetime, so incremental
+        consumers (the campaign worker acking cell by cell) amortise
+        construction exactly as the eager :meth:`run_cells` path does.
+        """
         tables = BatchTables()
-        results: list[SimResult] = []
         for cell in cells:
             benchmarks, name = resolve_workload(cell.workload)
             machine = cls(benchmarks, cell.engine, cell.policy,
                           cell.config, workload_name=name, tables=tables)
-            results.append(machine.run(cell.cycles, warmup=cell.warmup))
-        return results
+            yield machine.run(cell.cycles, warmup=cell.warmup)

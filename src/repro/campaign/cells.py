@@ -1,0 +1,140 @@
+"""The campaign layer's unit of work: cells, content keys, execution.
+
+A *cell* is one fully-resolved simulation request — workload, engine,
+policy, run windows and a complete :class:`~repro.core.config.SimConfig`.
+Everything above this module (sessions, sweeps, queues, workers) moves
+cells around; everything below it (backends) executes them.  Three
+representations exist, all loss-free:
+
+* :class:`Cell` — the in-process dataclass;
+* the *descriptor* — a canonical JSON-safe mapping
+  (:func:`cell_descriptor`), which is what queues and manifests store
+  and what :func:`cell_from_descriptor` rebuilds a :class:`Cell` from;
+* the *content key* — the SHA-256 of the descriptor
+  (:func:`cell_key`), the address of the cell's result in the
+  content-addressed cache and in a campaign's queue.
+
+Execution helpers (:func:`execute_batch` / :func:`execute_cell`) are
+top-level and picklable so worker processes, isolated recovery children
+and the in-process path all run the exact same code — which is one of
+the two reasons results are byte-identical wherever a cell runs (the
+other being that each simulation is a pure function of (seed, config)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend import get_backend
+from repro.core.config import SimConfig, canonical_hash
+from repro.core.metrics import SimResult
+from repro.resilience.faults import fault_label, maybe_fire
+
+CACHE_FORMAT_VERSION = 2
+"""Bumped whenever the simulator's observable behaviour changes
+incompatibly; old entries then miss instead of serving stale results.
+Version 2: backend-aware cells (``SimConfig.backend`` joins the
+descriptor) and schema-stamped payloads."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid cell, fully resolved (no ``None``, config included).
+
+    Carrying the config per cell (rather than per batch) means a single
+    campaign can mix machine configurations — the shape of an ablation
+    or width sweep — and a cell can never be keyed or simulated under a
+    different config than the one it was built with.
+    """
+
+    workload: str | tuple[str, ...]
+    engine: str
+    policy: str
+    cycles: int
+    warmup: int
+    config: SimConfig
+
+
+def cell_descriptor(workload: str | tuple[str, ...], engine: str,
+                    policy: str, cycles: int, warmup: int,
+                    config: SimConfig) -> dict:
+    """The JSON-safe mapping that :func:`cell_key` hashes."""
+    return {
+        "version": CACHE_FORMAT_VERSION,
+        "workload": list(workload) if not isinstance(workload, str)
+        else workload,
+        "engine": engine,
+        "policy": policy,
+        "cycles": cycles,
+        "warmup": warmup,
+        "config": config.to_dict(),
+    }
+
+
+def cell_key(workload: str | tuple[str, ...], engine: str, policy: str,
+             cycles: int, warmup: int, config: SimConfig) -> str:
+    """Content hash identifying one grid cell.
+
+    ``warmup`` must already be resolved (the ``None`` default of
+    :func:`repro.experiments.session.ExperimentSession.measure` maps to
+    ``config.warmup_cycles`` before hashing), so the explicit and the
+    defaulted spelling of the same cell share a key.
+    """
+    return canonical_hash(cell_descriptor(workload, engine, policy,
+                                          cycles, warmup, config))
+
+
+def descriptor_for(cell: Cell) -> dict:
+    """:func:`cell_descriptor` of a :class:`Cell`."""
+    return cell_descriptor(cell.workload, cell.engine, cell.policy,
+                           cell.cycles, cell.warmup, cell.config)
+
+
+def key_for(cell: Cell) -> str:
+    """:func:`cell_key` of a :class:`Cell`."""
+    return cell_key(cell.workload, cell.engine, cell.policy,
+                    cell.cycles, cell.warmup, cell.config)
+
+
+def cell_from_descriptor(descriptor: dict) -> Cell:
+    """Rebuild a :class:`Cell` from :func:`cell_descriptor` output.
+
+    This is how a queue row (or a manifest entry) turns back into
+    executable work in a worker process that never saw the original
+    object.  Loss-free: ``key_for(cell_from_descriptor(d))`` equals
+    ``canonical_hash(d)``.
+    """
+    workload = descriptor["workload"]
+    if not isinstance(workload, str):
+        workload = tuple(workload)
+    return Cell(workload, descriptor["engine"], descriptor["policy"],
+                descriptor["cycles"], descriptor["warmup"],
+                SimConfig.from_dict(descriptor["config"]))
+
+
+def execute_batch(cells: list[Cell]) -> list[SimResult]:
+    """Run a batch of cells (picklable, top-level); results in order.
+
+    Cells are grouped by their config's backend and each group is
+    delivered to that backend's ``run_cells`` in one call, which is
+    where per-batch amortisation (shared tables) happens.  The
+    fault-injection hook fires per cell (no-op unless ``REPRO_FAULTS``
+    is set) — inside the worker, which is where real faults strike.
+    """
+    for cell in cells:
+        maybe_fire(fault_label(cell))
+    by_backend: dict[str, list[int]] = {}
+    for i, cell in enumerate(cells):
+        by_backend.setdefault(cell.config.backend, []).append(i)
+    results: list[SimResult | None] = [None] * len(cells)
+    for backend, indices in by_backend.items():
+        batch_results = get_backend(backend).run_cells(
+            [cells[i] for i in indices])
+        for i, result in zip(indices, batch_results):
+            results[i] = result
+    return results
+
+
+def execute_cell(cell: Cell) -> SimResult:
+    """Simulate one cell through its backend (picklable, top-level)."""
+    return execute_batch([cell])[0]

@@ -1,0 +1,255 @@
+"""Campaign orchestration: plan a cell set, execute it, collect it.
+
+:class:`Campaign` is the seam between *planning* (enumerate and dedup
+cells, compute the campaign id, write the manifest, enqueue the cache
+misses) and *execution* (drain the queue).  Everything above it —
+:class:`~repro.experiments.session.ExperimentSession`, the sweep
+runner, both CLIs — is a client; everything below it — the queue, the
+worker loop, the backends — neither knows nor cares who planned the
+campaign.
+
+Execution modes, all draining the same queue with the same worker
+code:
+
+* **inline** (``spawn=False``): the calling process is the one worker.
+  This is the degenerate single-process case and the warm-cache path;
+  an in-memory queue suffices.
+* **spawned** (``spawn=True``): N worker *processes* share the queue
+  file.  The parent supervises: a worker that dies is reaped and its
+  leased cells released back to the queue immediately (no waiting out
+  lease deadlines), where surviving workers pick them up.  If *every*
+  worker dies with work remaining, the parent drains the leftovers
+  itself — in isolated child processes, so whatever killed the fleet
+  cannot take the planner down too.
+* **external**: some other process runs ``scripts/campaign_worker.py``
+  against the campaign directory; this module only plans and
+  collects.
+
+Results and failures are collected from the queue rows, not from
+worker IPC — the queue *is* the authoritative record, which is exactly
+what makes a campaign resumable by a process with no memory of the
+one that planned it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.campaign.manifest import (
+    QUEUE_NAME,
+    campaign_id,
+    queue_path,
+    write_manifest,
+)
+from repro.campaign.queue import CellQueue
+from repro.campaign.worker import (
+    DEFAULT_LEASE_SECONDS,
+    DrainStats,
+    drain,
+)
+from repro.core.metrics import SimResult
+from repro.resilience.policy import CellFailure, RetryPolicy
+
+SUPERVISE_POLL_SECONDS = 0.02
+"""How often the supervisor checks worker liveness."""
+
+
+class Campaign:
+    """One planned cell set bound to one (possibly durable) queue."""
+
+    def __init__(self, cid: str, queue: CellQueue,
+                 queue_file: str | None,
+                 ephemeral_dir: str | None = None) -> None:
+        self.id = cid
+        self.queue = queue
+        self.queue_file = queue_file
+        self._ephemeral_dir = ephemeral_dir
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # plan
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, planned: dict[str, dict], misses, *,
+             root: str | Path | None = None,
+             retry: RetryPolicy | None = None,
+             need_file: bool = False) -> "Campaign":
+        """Plan a campaign: id, manifest, queue, enqueued misses.
+
+        Args:
+            planned: key -> descriptor for **every** distinct cell of
+                the campaign (hits included) — the id names the whole
+                measurement, so a warm and a cold run of one grid plan
+                to the same campaign.
+            misses: iterable of ``(key, descriptor, label)`` for the
+                cells that actually need execution; only these become
+                queue rows.
+            root: Campaign root directory.  ``None`` plans an
+                *ephemeral* campaign: an in-memory queue, or a
+                throwaway temp directory when ``need_file`` demands a
+                shareable queue file (worker processes).
+            retry: Per-cell budget folded into the queue rows.
+            need_file: Require a real queue file even without a root.
+        """
+        retry = retry or RetryPolicy()
+        cid = campaign_id(planned.values())
+        ephemeral_dir = None
+        if root is not None:
+            write_manifest(root, cid, planned)
+            path = queue_path(root, cid)
+            queue_file = str(path)
+            queue = CellQueue(path)
+        elif need_file:
+            ephemeral_dir = tempfile.mkdtemp(prefix=f"campaign-{cid}-")
+            queue_file = str(Path(ephemeral_dir) / QUEUE_NAME)
+            queue = CellQueue(queue_file)
+        else:
+            queue_file = None
+            queue = CellQueue(":memory:")
+        queue.add(misses, max_attempts=retry.attempts,
+                  backoff=retry.backoff)
+        return cls(cid, queue, queue_file, ephemeral_dir)
+
+    # ------------------------------------------------------------------
+    # execute
+    # ------------------------------------------------------------------
+
+    def execute(self, *, workers: int = 1, spawn: bool = False,
+                cache=None, cache_dir: str | None = None,
+                cell_timeout: float | None = None,
+                lease_batch: int = 8,
+                lease_seconds: float = DEFAULT_LEASE_SECONDS) \
+            -> DrainStats:
+        """Drain this campaign's queue to resolution.
+
+        Inline mode executes in this process (``cache`` — an open
+        :class:`ResultCache` or ``None`` — receives results).  Spawn
+        mode launches ``workers`` processes which open their own
+        caches from ``cache_dir``; the parent only supervises, so
+        there is exactly one writer per result either way.
+        """
+        if not spawn:
+            return drain(self.queue, worker_id="inline", cache=cache,
+                         cell_timeout=cell_timeout,
+                         lease_batch=lease_batch,
+                         lease_seconds=lease_seconds)
+        if self.queue_file is None:
+            raise ValueError("spawned workers need a queue file "
+                             "(campaign planned with need_file=False)")
+        self._supervise(workers, cache_dir=cache_dir,
+                        cell_timeout=cell_timeout,
+                        lease_batch=lease_batch,
+                        lease_seconds=lease_seconds)
+        stats = DrainStats()
+        if self.queue.unresolved():
+            # Every worker died with work outstanding (or crash
+            # releases landed after the last survivor exited).  Finish
+            # in isolated children: whatever killed the fleet must not
+            # kill the planner.
+            stats = drain(self.queue, worker_id="recovery",
+                          cache=cache, cell_timeout=cell_timeout,
+                          lease_batch=1, lease_seconds=lease_seconds,
+                          isolate=True)
+        return stats
+
+    def _supervise(self, count: int, *, cache_dir: str | None,
+                   cell_timeout: float | None, lease_batch: int,
+                   lease_seconds: float) -> None:
+        """Run worker processes; reap the dead, release their leases.
+
+        Workers exit on their own once every row is resolved (they
+        wait out each other's leases and backoffs, so a released cell
+        is always picked up by a survivor).  Processes are non-daemonic
+        because workers with a ``cell_timeout`` spawn isolation
+        children of their own.
+        """
+        from repro.campaign.worker import worker_process_entry
+        ctx = multiprocessing.get_context()
+        procs: dict[str, multiprocessing.Process] = {}
+        for i in range(count):
+            wid = f"worker-{os.getpid()}-{i}"
+            proc = ctx.Process(
+                target=worker_process_entry, name=wid,
+                args=(self.queue_file, wid, cache_dir, cell_timeout,
+                      lease_batch, lease_seconds))
+            proc.start()
+            procs[wid] = proc
+        try:
+            while procs:
+                for wid, proc in list(procs.items()):
+                    proc.join(timeout=SUPERVISE_POLL_SECONDS)
+                    if proc.is_alive():
+                        continue
+                    del procs[wid]
+                    if proc.exitcode != 0:
+                        self.queue.release(
+                            wid, "worker crashed "
+                            f"(exit code {proc.exitcode})")
+        except BaseException:
+            # Error/interrupt in the planner: kill the fleet (bounded
+            # teardown; completed cells are already durable) and
+            # re-raise.
+            for proc in procs.values():
+                try:
+                    proc.kill()
+                except OSError:
+                    pass
+            for proc in procs.values():
+                proc.join(1.0)
+            raise
+
+    # ------------------------------------------------------------------
+    # collect
+    # ------------------------------------------------------------------
+
+    def outcomes(self, keys) -> dict:
+        """key -> SimResult | CellFailure for the requested keys.
+
+        Read from the queue rows — the authoritative record — so
+        collection works identically whether the cells ran inline,
+        in spawned workers, in external workers, or in a previous
+        process entirely (the ``--resume`` path).
+        """
+        results = self.queue.results()
+        failures = self.queue.failures()
+        out: dict = {}
+        for key in keys:
+            if key in results:
+                out[key] = SimResult.from_dict(results[key])
+            elif key in failures:
+                out[key] = failures[key]
+        return out
+
+    def attempts(self) -> int:
+        """Total charged execution attempts recorded in the queue."""
+        return self.queue.total_attempts()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the queue connection; delete ephemeral storage."""
+        if self._closed:
+            return
+        self._closed = True
+        self.queue.close()
+        if self._ephemeral_dir is not None:
+            shutil.rmtree(self._ephemeral_dir, ignore_errors=True)
+
+    def __enter__(self) -> "Campaign":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def failures_of(outcomes: dict) -> dict[str, CellFailure]:
+    """The failed subset of an :meth:`Campaign.outcomes` mapping."""
+    return {key: value for key, value in outcomes.items()
+            if isinstance(value, CellFailure)}

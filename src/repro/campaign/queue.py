@@ -1,0 +1,360 @@
+"""Durable SQLite-backed cell queue with lease/ack/nack semantics.
+
+One campaign owns one queue (``<campaign_dir>/queue.sqlite``).  Each
+row is one cell awaiting execution, addressed by its content key and
+carrying the full descriptor, so *any* worker — same process, sibling
+process, or a fresh process after a crash — can rebuild and run it.
+
+State machine per row::
+
+    pending --lease--> leased --ack-->  done
+       ^                  |
+       |                  +--nack/expiry/release--> pending   (budget left)
+       |                  +--nack/expiry/release--> failed    (budget spent)
+       +---- add() revives failed rows when a new run re-requests them
+
+Retry budgets live *in the queue*, not in the caller: every row stores
+``max_attempts`` and a ``backoff`` base, ``lease`` increments
+``attempts``, and a nacked row is only re-runnable once its
+deterministic exponential backoff (``backoff * 2**(attempts-1)``)
+expires — this is :class:`repro.resilience.RetryPolicy` folded into
+durable state, so retries survive the death of the process that
+scheduled them.
+
+Crash safety rests on two mechanisms.  A worker that dies holding a
+lease is caught either by its supervisor (``release(owner)`` returns
+its cells immediately) or, with no supervisor, by the *lease
+deadline*: any ``lease`` call first reclaims rows whose deadline
+passed.  Both paths charge the lost attempt against the row's budget.
+A cell executed twice because a lease expired while its (slow, not
+dead) owner was still running is harmless: simulation is a pure
+function of (seed, config), and ``ack`` is idempotent — the second
+completion writes the identical result.
+
+All mutations run inside ``BEGIN IMMEDIATE`` transactions so
+concurrent workers on one queue file serialize cleanly; WAL mode keeps
+readers unblocked.  ``":memory:"`` queues are supported for the
+degenerate single-process case (no durability wanted, same code path).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.resilience.policy import CellFailure
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS cells (
+    seq            INTEGER PRIMARY KEY AUTOINCREMENT,
+    key            TEXT NOT NULL UNIQUE,
+    descriptor     TEXT NOT NULL,
+    label          TEXT NOT NULL,
+    state          TEXT NOT NULL DEFAULT 'pending',
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    max_attempts   INTEGER NOT NULL DEFAULT 1,
+    backoff        REAL NOT NULL DEFAULT 0.0,
+    not_before     REAL NOT NULL DEFAULT 0.0,
+    lease_owner    TEXT,
+    lease_deadline REAL,
+    first_leased   REAL,
+    elapsed        REAL,
+    error          TEXT,
+    result         TEXT
+);
+CREATE INDEX IF NOT EXISTS cells_state ON cells (state, not_before);
+"""
+
+RESOLVED = ("done", "failed")
+"""Terminal states: the row needs no further execution."""
+
+
+@dataclass(frozen=True)
+class LeasedCell:
+    """One unit of leased work: rebuildable descriptor + bookkeeping."""
+
+    key: str
+    descriptor: dict
+    label: str
+    attempts: int
+
+
+class CellQueue:
+    """Lease/ack/nack work queue over one SQLite database.
+
+    Open one :class:`CellQueue` per connection-holder (each worker
+    process opens its own); any number may share a queue *file*.
+    """
+
+    def __init__(self, path: str | Path = ":memory:",
+                 busy_timeout: float = 30.0) -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path,
+                                     timeout=busy_timeout,
+                                     isolation_level=None)
+        self._conn.row_factory = sqlite3.Row
+        if self.path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CellQueue":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _txn(self):
+        """``BEGIN IMMEDIATE`` write transaction (context manager)."""
+        return _Transaction(self._conn)
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+
+    def add(self, entries, *, max_attempts: int = 1,
+            backoff: float = 0.0) -> int:
+        """Enqueue cells; returns how many rows were newly inserted.
+
+        ``entries`` yields ``(key, descriptor, label)`` triples.  The
+        call is idempotent: a key already present is *not* duplicated.
+        Re-requesting a row does refresh its retry policy (a resumed
+        run's ``--retries`` wins) and *revives* ``failed`` rows —
+        attempts reset to zero — because a new run owns a fresh budget,
+        exactly as per-session retry accounting always worked.  ``done``
+        rows are never touched: their results are the cache.
+        """
+        added = 0
+        with self._txn():
+            for key, descriptor, label in entries:
+                cur = self._conn.execute(
+                    "INSERT INTO cells (key, descriptor, label,"
+                    " max_attempts, backoff) VALUES (?, ?, ?, ?, ?)"
+                    " ON CONFLICT(key) DO NOTHING",
+                    (key, json.dumps(descriptor, sort_keys=True), label,
+                     max_attempts, backoff))
+                added += cur.rowcount
+                self._conn.execute(
+                    "UPDATE cells SET max_attempts = ?, backoff = ?"
+                    " WHERE key = ? AND state != 'done'",
+                    (max_attempts, backoff, key))
+                self._conn.execute(
+                    "UPDATE cells SET state = 'pending', attempts = 0,"
+                    " not_before = 0, lease_owner = NULL,"
+                    " lease_deadline = NULL, error = NULL"
+                    " WHERE key = ? AND state = 'failed'",
+                    (key,))
+        return added
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+
+    def lease(self, owner: str, limit: int = 1,
+              lease_seconds: float = 300.0) -> list[LeasedCell]:
+        """Claim up to ``limit`` runnable cells for ``owner``.
+
+        Expired leases are reclaimed first (their lost attempt charged
+        against the budget), then the oldest pending rows whose backoff
+        has elapsed are leased.  Each lease increments ``attempts`` —
+        the attempt is charged when the work is *handed out*, so a
+        worker that dies without reporting cannot spend the budget
+        forever.
+        """
+        now = time.time()
+        leased: list[LeasedCell] = []
+        with self._txn():
+            self._reclaim_expired(now)
+            rows = self._conn.execute(
+                "SELECT key, descriptor, label, attempts FROM cells"
+                " WHERE state = 'pending' AND not_before <= ?"
+                " ORDER BY seq LIMIT ?", (now, limit)).fetchall()
+            for row in rows:
+                attempts = row["attempts"] + 1
+                self._conn.execute(
+                    "UPDATE cells SET state = 'leased', attempts = ?,"
+                    " lease_owner = ?, lease_deadline = ?,"
+                    " first_leased = COALESCE(first_leased, ?)"
+                    " WHERE key = ?",
+                    (attempts, owner, now + lease_seconds, now,
+                     row["key"]))
+                leased.append(LeasedCell(
+                    key=row["key"],
+                    descriptor=json.loads(row["descriptor"]),
+                    label=row["label"], attempts=attempts))
+        return leased
+
+    def ack(self, key: str, owner: str, result: dict) -> None:
+        """Report success; idempotent, ignores stale/foreign leases.
+
+        A late ack from an expired lease (the cell was re-leased, maybe
+        even completed, by someone else) is accepted only if the row is
+        not already done — and since results are deterministic, whoever
+        wins writes the same bytes.
+        """
+        with self._txn():
+            self._conn.execute(
+                "UPDATE cells SET state = 'done', result = ?,"
+                " error = NULL, lease_owner = NULL,"
+                " lease_deadline = NULL,"
+                " elapsed = ? - first_leased"
+                " WHERE key = ? AND state != 'done'",
+                (json.dumps(result, sort_keys=True), time.time(), key))
+
+    def nack(self, key: str, owner: str, error: str) -> None:
+        """Report failure; requeues with backoff or fails by budget."""
+        with self._txn():
+            self._settle(key, error, owner=owner)
+
+    def unlease(self, key: str, owner: str) -> None:
+        """Return a leased cell *unexecuted*, refunding the attempt.
+
+        Used when a worker leased a batch but aborted before reaching
+        this cell (a batch-mate crashed the attempt): the cell did not
+        run, so its budget must not be charged.
+        """
+        with self._txn():
+            self._conn.execute(
+                "UPDATE cells SET state = 'pending',"
+                " attempts = attempts - 1, lease_owner = NULL,"
+                " lease_deadline = NULL"
+                " WHERE key = ? AND state = 'leased'"
+                " AND lease_owner = ?", (key, owner))
+
+    def release(self, owner: str, error: str) -> int:
+        """Requeue/fail every cell ``owner`` holds (owner died).
+
+        Called by a supervisor that *knows* the worker is gone —
+        instead of waiting out the lease deadline.  The in-flight
+        attempt stays charged.  Returns the number of cells released.
+        """
+        released = 0
+        with self._txn():
+            rows = self._conn.execute(
+                "SELECT key FROM cells WHERE state = 'leased'"
+                " AND lease_owner = ?", (owner,)).fetchall()
+            for row in rows:
+                self._settle(row["key"], error, owner=owner)
+                released += 1
+        return released
+
+    def _reclaim_expired(self, now: float) -> None:
+        """Requeue/fail rows whose lease deadline has passed.
+
+        Settled against the caller's ``now`` so a zero-backoff
+        reclaimed row is leasable in the *same* ``lease`` call — the
+        worker that discovers a death picks up the orphaned work
+        immediately instead of sleeping out a poll interval.
+        """
+        rows = self._conn.execute(
+            "SELECT key FROM cells WHERE state = 'leased'"
+            " AND lease_deadline < ?", (now,)).fetchall()
+        for row in rows:
+            self._settle(row["key"],
+                         "lease expired (worker presumed dead)",
+                         now=now)
+
+    def _settle(self, key: str, error: str,
+                owner: str | None = None,
+                now: float | None = None) -> None:
+        """Move one leased row to pending (budget left) or failed.
+
+        Requeued rows honour the deterministic exponential backoff:
+        retry ``n`` (i.e. after ``n`` charged attempts) may not lease
+        again before ``backoff * 2**(n-1)`` seconds pass.
+        """
+        guard = " AND lease_owner = ?" if owner is not None else ""
+        args = (key,) + ((owner,) if owner is not None else ())
+        row = self._conn.execute(
+            "SELECT attempts, max_attempts, backoff, first_leased"
+            " FROM cells WHERE key = ? AND state = 'leased'" + guard,
+            args).fetchone()
+        if row is None:
+            return
+        if row["attempts"] < row["max_attempts"]:
+            delay = row["backoff"] * 2 ** (row["attempts"] - 1) \
+                if row["backoff"] else 0.0
+            self._conn.execute(
+                "UPDATE cells SET state = 'pending', not_before = ?,"
+                " lease_owner = NULL, lease_deadline = NULL,"
+                " error = ? WHERE key = ?",
+                ((now if now is not None else time.time()) + delay,
+                 error, key))
+        else:
+            self._conn.execute(
+                "UPDATE cells SET state = 'failed', lease_owner = NULL,"
+                " lease_deadline = NULL, error = ?,"
+                " elapsed = ? - first_leased WHERE key = ?",
+                (error, time.time(), key))
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Row count per state (absent states omitted)."""
+        return {row["state"]: row["n"] for row in self._conn.execute(
+            "SELECT state, COUNT(*) AS n FROM cells GROUP BY state")}
+
+    def unresolved(self) -> int:
+        """Rows still needing execution (pending or leased)."""
+        (n,) = self._conn.execute(
+            "SELECT COUNT(*) FROM cells WHERE state NOT IN"
+            " ('done', 'failed')").fetchone()
+        return n
+
+    def total_attempts(self) -> int:
+        """Sum of charged execution attempts across all rows."""
+        (n,) = self._conn.execute(
+            "SELECT COALESCE(SUM(attempts), 0) FROM cells").fetchone()
+        return n
+
+    def earliest_not_before(self) -> float | None:
+        """Soonest time a pending row becomes leasable (None if none)."""
+        row = self._conn.execute(
+            "SELECT MIN(not_before) AS t FROM cells"
+            " WHERE state = 'pending'").fetchone()
+        return row["t"]
+
+    def results(self) -> dict[str, dict]:
+        """key -> stored result payload for every ``done`` row."""
+        return {row["key"]: json.loads(row["result"])
+                for row in self._conn.execute(
+                    "SELECT key, result FROM cells"
+                    " WHERE state = 'done'")}
+
+    def failures(self) -> dict[str, CellFailure]:
+        """key -> :class:`CellFailure` for every ``failed`` row."""
+        out = {}
+        for row in self._conn.execute(
+                "SELECT key, label, attempts, error, elapsed"
+                " FROM cells WHERE state = 'failed'"):
+            out[row["key"]] = CellFailure(
+                key=row["key"], label=row["label"],
+                attempts=row["attempts"],
+                error=row["error"] or "retry budget exhausted",
+                elapsed=row["elapsed"] or 0.0)
+        return out
+
+
+class _Transaction:
+    """``BEGIN IMMEDIATE`` .. ``COMMIT``/``ROLLBACK`` scope."""
+
+    def __init__(self, conn: sqlite3.Connection) -> None:
+        self._conn = conn
+
+    def __enter__(self) -> sqlite3.Connection:
+        self._conn.execute("BEGIN IMMEDIATE")
+        return self._conn
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._conn.execute("COMMIT")
+        else:
+            self._conn.execute("ROLLBACK")

@@ -1,0 +1,187 @@
+"""The campaign worker: lease, execute, ack — repeat until drained.
+
+One :func:`drain` loop serves every execution mode in the stack:
+
+* the in-process "degenerate one-worker" path of
+  :class:`~repro.experiments.session.ExperimentSession` (``jobs=1``);
+* the worker *processes* spawned by
+  :class:`repro.campaign.engine.Campaign` for ``jobs > 1``;
+* the standalone ``scripts/campaign_worker.py`` CLI, where N workers
+  on N machines drain one shared queue file.
+
+All of them run the exact same per-cell code, so where a cell executes
+cannot change its result.
+
+Failure semantics per leased batch: cells are executed *one at a
+time* and acked individually — durable completion, nothing to lose on
+a crash but the in-flight cell.  When a cell's execution raises, only
+that cell is nacked (charging its retry budget); leased batch-mates
+that never started are *unleased* (budget refunded) so one poisoned
+cell cannot burn innocent cells' budgets.  A worker that dies outright
+takes its whole lease with it — the supervisor's ``release`` or the
+lease deadline returns those cells to the queue, with exactly the
+in-flight attempt charged.
+
+With a ``cell_timeout``, every attempt runs in an isolated child
+process (:func:`repro.resilience.isolate.run_cell_isolated`) so hangs
+are killable; without one, cells run in the worker itself and each
+backend group is fed through ``run_cells_iter`` so per-batch
+amortisation (shared warm tables) is preserved.
+
+Results flow to two places on ack: the shared content-addressed
+:class:`~repro.experiments.cache.ResultCache` (when the worker has
+one) and the queue row itself — so a campaign's results are complete
+even with no cache configured, and the planner can collect them
+without re-reading the cache.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.backend import get_backend
+from repro.campaign.cells import Cell, cell_from_descriptor
+from repro.campaign.queue import CellQueue, LeasedCell
+from repro.resilience.faults import fault_label, maybe_fire
+from repro.resilience.isolate import run_cell_isolated
+
+DEFAULT_LEASE_SECONDS = 300.0
+"""Lease deadline given to unsupervised workers.  Generous on purpose:
+expiry is the *fallback* reclamation path (supervised workers are
+released the moment their process is reaped), and a too-short lease
+would let a slow-but-alive worker's cells be double-executed."""
+
+DEFAULT_POLL_SECONDS = 0.05
+"""Sleep between lease attempts while other workers hold the
+remaining cells."""
+
+
+@dataclass
+class DrainStats:
+    """What one :func:`drain` call did (for logs and CLI footers)."""
+
+    executed: int = 0
+    failed: int = 0
+    leases: int = 0
+
+
+def drain(queue: CellQueue, *, worker_id: str, cache=None,
+          cell_timeout: float | None = None, lease_batch: int = 8,
+          lease_seconds: float = DEFAULT_LEASE_SECONDS,
+          poll: float = DEFAULT_POLL_SECONDS, wait: bool = True,
+          isolate: bool = False) -> DrainStats:
+    """Drain a queue until nothing is left (or leasable, with
+    ``wait=False``).
+
+    Args:
+        queue: The campaign's :class:`CellQueue` (this worker's own
+            connection).
+        worker_id: Lease owner string; must be unique per worker.
+        cache: Optional :class:`ResultCache` — completed results are
+            persisted there *before* the ack, so a ``done`` row always
+            implies a stored artifact.
+        cell_timeout: Per-cell wall-clock budget; routes attempts
+            through isolated child processes.
+        lease_batch: Cells to claim per lease round.
+        lease_seconds: Lease deadline handed to the queue.
+        poll: Sleep between empty lease rounds while work remains.
+        wait: ``True`` drains until every row is resolved, waiting out
+            other workers' leases and retry backoffs; ``False`` exits
+            at the first empty lease round (the CLI's ``--no-wait``).
+        isolate: Force isolated child processes even without a
+            timeout — the recovery path, where whatever killed the
+            previous workers must not kill this one.
+    """
+    stats = DrainStats()
+    while True:
+        batch = queue.lease(worker_id, limit=lease_batch,
+                            lease_seconds=lease_seconds)
+        if not batch:
+            if not wait or queue.unresolved() == 0:
+                break
+            time.sleep(poll)
+            continue
+        stats.leases += 1
+        _execute_lease(queue, batch, worker_id=worker_id, cache=cache,
+                       cell_timeout=cell_timeout, isolate=isolate,
+                       stats=stats)
+    return stats
+
+
+def _execute_lease(queue: CellQueue, batch: list[LeasedCell], *,
+                   worker_id: str, cache, cell_timeout: float | None,
+                   isolate: bool, stats: DrainStats) -> None:
+    """Execute one leased batch, acking/nacking cell by cell."""
+    cells = [cell_from_descriptor(lc.descriptor) for lc in batch]
+    if isolate or cell_timeout is not None:
+        for lc, cell in zip(batch, cells):
+            try:
+                result = run_cell_isolated(cell, timeout=cell_timeout)
+            except Exception as exc:
+                queue.nack(lc.key, worker_id, repr(exc))
+                stats.failed += 1
+            else:
+                _deliver(queue, lc, cell, result, worker_id=worker_id,
+                         cache=cache, stats=stats)
+        return
+
+    by_backend: dict[str, list[int]] = {}
+    for i, cell in enumerate(cells):
+        by_backend.setdefault(cell.config.backend, []).append(i)
+    for backend, indices in by_backend.items():
+        group = [cells[i] for i in indices]
+        it = get_backend(backend).run_cells_iter(group)
+        for pos, i in enumerate(indices):
+            try:
+                # Fault-injection hook (no-op unless REPRO_FAULTS is
+                # set): fires in the worker, where real faults strike.
+                maybe_fire(fault_label(cells[i]))
+                result = next(it)
+            except Exception as exc:
+                # Only the cell that blew up pays an attempt; its
+                # batch-mates never ran, so their leases are refunded
+                # (the iterator's shared state is unusable after an
+                # exception, and re-running them here would double-
+                # charge fault budgets).
+                queue.nack(batch[i].key, worker_id, repr(exc))
+                stats.failed += 1
+                for j in indices[pos + 1:]:
+                    queue.unlease(batch[j].key, worker_id)
+                break
+            _deliver(queue, batch[i], cells[i], result,
+                     worker_id=worker_id, cache=cache, stats=stats)
+
+
+def _deliver(queue: CellQueue, leased: LeasedCell, cell: Cell, result,
+             *, worker_id: str, cache, stats: DrainStats) -> None:
+    """Persist one completed cell, then ack its queue row.
+
+    Order matters: cache first, ack second, so a ``done`` row never
+    refers to a result that was lost with the worker.
+    """
+    if cache is not None:
+        cache.put(leased.key, result, leased.descriptor)
+    queue.ack(leased.key, worker_id, result.to_dict())
+    stats.executed += 1
+
+
+def worker_process_entry(queue_path: str, worker_id: str,
+                         cache_dir: str | None,
+                         cell_timeout: float | None,
+                         lease_batch: int,
+                         lease_seconds: float) -> None:
+    """Top-level (picklable) entry point for spawned worker processes.
+
+    Opens its own queue connection and cache handle — workers share
+    *files*, never Python objects.
+    """
+    from repro.experiments.cache import ResultCache
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    queue = CellQueue(queue_path)
+    try:
+        drain(queue, worker_id=worker_id, cache=cache,
+              cell_timeout=cell_timeout, lease_batch=lease_batch,
+              lease_seconds=lease_seconds)
+    finally:
+        queue.close()

@@ -30,15 +30,23 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.core.config import SimConfig, canonical_hash
+from repro.campaign.cells import (
+    CACHE_FORMAT_VERSION,
+    cell_descriptor,
+    cell_key,
+)
 from repro.core.metrics import SimResult
 from repro.resilience.faults import descriptor_label, should_corrupt
 
-CACHE_FORMAT_VERSION = 2
-"""Bumped whenever the simulator's observable behaviour changes
-incompatibly; old entries then miss instead of serving stale results.
-Version 2: backend-aware cells (``SimConfig.backend`` joins the
-descriptor) and schema-stamped payloads."""
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "QUARANTINE_DIR",
+    "RESULT_SCHEMA_VERSION",
+    "ResultCache",
+    "cell_descriptor",
+    "cell_key",
+]
 
 RESULT_SCHEMA_VERSION = 1
 """Version of the *stored payload* format, written into every entry
@@ -56,35 +64,6 @@ QUARANTINE_DIR = "quarantine"
 each next to a ``<key>.reason.txt`` naming the corruption.  The name
 is deliberately longer than the two-character fan-out directories so
 entry scans (``??/*.json``) never see quarantined files."""
-
-
-def cell_key(workload: str | tuple[str, ...], engine: str, policy: str,
-             cycles: int, warmup: int, config: SimConfig) -> str:
-    """Content hash identifying one grid cell.
-
-    ``warmup`` must already be resolved (the ``None`` default of
-    :func:`repro.experiments.session.ExperimentSession.measure` maps to
-    ``config.warmup_cycles`` before hashing), so the explicit and the
-    defaulted spelling of the same cell share a key.
-    """
-    return canonical_hash(cell_descriptor(workload, engine, policy,
-                                          cycles, warmup, config))
-
-
-def cell_descriptor(workload: str | tuple[str, ...], engine: str,
-                    policy: str, cycles: int, warmup: int,
-                    config: SimConfig) -> dict:
-    """The JSON-safe mapping that :func:`cell_key` hashes."""
-    return {
-        "version": CACHE_FORMAT_VERSION,
-        "workload": list(workload) if not isinstance(workload, str)
-        else workload,
-        "engine": engine,
-        "policy": policy,
-        "cycles": cycles,
-        "warmup": warmup,
-        "config": config.to_dict(),
-    }
 
 
 class ResultCache:
@@ -105,37 +84,71 @@ class ResultCache:
         """Where corrupt entries (and their reason files) land."""
         return self.root / QUARANTINE_DIR
 
+    def _load(self, path: Path, key: str) -> SimResult:
+        """Parse and validate one entry file; raises on any defect.
+
+        ``FileNotFoundError`` means an ordinary miss; any other
+        ``OSError``/``ValueError``/``KeyError``/``TypeError`` means
+        the entry is *present but unusable* — truncated JSON, key/name
+        disagreement, stale schema, malformed result — and should be
+        quarantined by the caller.
+        """
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("key") != key:
+            raise ValueError("key mismatch (truncated or foreign file)")
+        if payload.get("schema") != RESULT_SCHEMA_VERSION:
+            raise ValueError("result schema mismatch (stale entry)")
+        return SimResult.from_dict(payload["result"])
+
     def get(self, key: str) -> SimResult | None:
         """Load a cached result; corruption quarantines, then misses.
 
-        A *missing* entry is an ordinary miss.  A *present but
-        unusable* entry — truncated JSON, key/name disagreement, stale
-        schema, malformed result — is moved into the quarantine
-        directory with a reason file and then reads as a miss: the
-        cell re-simulates exactly once (the rewritten entry is
-        healthy), and the evidence survives for inspection instead of
-        being silently destroyed by the overwrite.
+        A *missing* entry is an ordinary miss.  An unusable entry (see
+        :meth:`_load`) is moved into the quarantine directory with a
+        reason file and then reads as a miss: the cell re-simulates
+        exactly once (the rewritten entry is healthy), and the
+        evidence survives for inspection instead of being silently
+        destroyed by the overwrite.
         """
         path = self.path_for(key)
         try:
-            fh = open(path, encoding="utf-8")
+            result = self._load(path, key)
         except FileNotFoundError:
             self.misses += 1
             return None
-        try:
-            with fh:
-                payload = json.load(fh)
-            if payload.get("key") != key:
-                raise ValueError("key mismatch (truncated or foreign file)")
-            if payload.get("schema") != RESULT_SCHEMA_VERSION:
-                raise ValueError("result schema mismatch (stale entry)")
-            result = SimResult.from_dict(payload["result"])
         except (OSError, ValueError, KeyError, TypeError) as exc:
             self._quarantine(path, f"{type(exc).__name__}: {exc}")
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def verify(self) -> dict:
+        """Proactively validate every entry; quarantine the corrupt.
+
+        Walks the whole store applying exactly the :meth:`get`
+        validation (parse, key match, schema, result shape) without
+        waiting for a read to trip over a bad entry — the audit to run
+        before archiving a cache or handing it to a worker fleet.
+        Quarantined entries land next to ``.reason.txt`` files like
+        any other corruption.  Returns ``{"checked", "healthy",
+        "quarantined"}`` counts for this walk.
+        """
+        checked = healthy = quarantined = 0
+        for path in sorted(self.root.glob("??/*.json")):
+            checked += 1
+            try:
+                self._load(path, path.stem)
+            except FileNotFoundError:
+                continue               # raced a pruner; nothing to judge
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                self._quarantine(path, f"{type(exc).__name__}: {exc}")
+                quarantined += 1
+            else:
+                healthy += 1
+        return {"checked": checked, "healthy": healthy,
+                "quarantined": quarantined}
 
     def _quarantine(self, path: Path, reason: str) -> None:
         """Move a corrupt entry (plus a reason file) out of the cache.

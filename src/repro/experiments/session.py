@@ -1,113 +1,122 @@
-"""Parallel, cached execution of experiment grids.
+"""Parallel, cached execution of experiment grids — campaign client.
 
 The figures and claim checks of the paper share most of their
 (workload, engine, policy) grid cells.  :class:`ExperimentSession`
-exploits that structure:
+exploits that structure, as a *client* of the campaign layer
+(:mod:`repro.campaign`), in two phases:
 
-* **Enumeration** — every figure/claim expands to a set of
-  :class:`Cell` descriptors *before* anything runs, so the full grid is
-  deduplicated up front;
-* **Memoisation** — each cell is addressed by the content hash of
-  everything that determines its outcome (see
-  :mod:`repro.experiments.cache`), first in an in-process memo, then in
-  an optional persistent on-disk cache;
-* **Fan-out** — cache misses are handed to their
-  :mod:`repro.backend` backend in *batches* (grouped by
-  ``config.backend``), so a backend can amortise per-process setup —
-  shared program/warm-region tables in the batched backend — across
-  every cell a worker receives.  ``jobs > 1`` stripes the batches
-  across worker processes via
-  :class:`concurrent.futures.ProcessPoolExecutor` (``jobs=1`` stays
-  fully in-process, which is what the test suite uses);
-* **Fault tolerance** — stripes run as individual futures and each
-  completed stripe is persisted *immediately*, so a crash at hour two
-  of a campaign loses only in-flight cells.  A broken worker, an
-  in-worker exception or a wall-clock timeout sends the affected cells
-  to per-cell recovery: isolated child processes
-  (:mod:`repro.resilience.isolate`) with a configurable retry budget
-  and deterministic backoff (:class:`repro.resilience.RetryPolicy`).
-  Cells that stay dead become :class:`repro.resilience.CellFailure`
-  records — raised as :class:`repro.resilience.CellExecutionError` in
-  strict mode, returned as partial results otherwise.
+* **Plan** — every figure/claim expands to a set of
+  :class:`~repro.campaign.Cell` descriptors *before* anything runs;
+  the set is deduplicated by content key, looked up in the in-process
+  memo and the persistent content-addressed cache
+  (:mod:`repro.experiments.cache`), and the distinct cells are hashed
+  into a **campaign id** — the durable name of this measurement, the
+  thing ``--resume`` resumes and reports stamp as provenance.  Cache
+  misses become rows in the campaign's
+  :class:`~repro.campaign.CellQueue` (in-memory for the degenerate
+  one-process case, a durable SQLite file under ``campaign_dir`` when
+  the caller wants crash-safe resume or external workers).
 
-Results are bit-identical to serial execution: each cell's simulation
-is deterministic given (seed, config), every backend is
+* **Execute** — the queue is drained by campaign workers.  ``jobs=1``
+  drains inline in this process; ``jobs > 1`` spawns supervised worker
+  processes that share the queue file and the result cache.  Retry
+  budgets, deterministic backoff and per-cell wall-clock timeouts all
+  live in queue lease state (see :mod:`repro.campaign.queue`), so a
+  crash — of a worker *or* of this planner — loses only in-flight
+  cells: every completed cell was acked durably and persisted before
+  the crash.  Cells that stay dead after their budget surface as
+  :class:`~repro.resilience.CellFailure` records — raised as
+  :class:`~repro.resilience.CellExecutionError` in strict mode,
+  returned as partial results otherwise.
+
+Results are bit-identical however the campaign runs: each cell's
+simulation is deterministic given (seed, config), every backend is
 golden-parity-validated against the reference loop, workers share
-nothing, and a *retried* cell therefore reproduces exactly the result
-its crashed attempt would have produced.
+nothing but files, and a retried or resumed cell therefore reproduces
+exactly the result its interrupted attempt would have produced.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.backend import get_backend
+from repro.campaign.cells import (
+    Cell,
+    descriptor_for,
+    execute_batch,
+    execute_cell,
+    key_for,
+)
+from repro.campaign.engine import Campaign
+from repro.campaign.manifest import campaign_id
 from repro.core.config import DEFAULT_CONFIG, SimConfig
 from repro.core.metrics import SimResult
-from repro.experiments.cache import ResultCache, cell_descriptor, cell_key
+from repro.experiments.cache import ResultCache
 from repro.experiments.figures import FigureSpec
 from repro.experiments.paper_data import Claim
-from repro.resilience.faults import fault_label, maybe_fire
-from repro.resilience.isolate import run_cell_isolated
+from repro.resilience.faults import fault_label
 from repro.resilience.policy import (
     CellExecutionError,
     CellFailure,
     RetryPolicy,
 )
 
+# Back-compat aliases: these lived here before the campaign layer
+# existed, and the perf/determinism suites (plus any external callers)
+# import them from this module.
+_execute_batch = execute_batch
+_execute_cell = execute_cell
+
 DEFAULT_CYCLES = 20_000
 """Measured window for figure regeneration (per grid cell)."""
 
+MAX_LEASE_BATCH = 8
+"""Upper bound on cells per worker lease: large enough for the batched
+backend to amortise shared tables, small enough that a dying worker
+forfeits little work and queue progress stays observable."""
+
 
 @dataclass(frozen=True)
-class Cell:
-    """One grid cell, fully resolved (no ``None``, config included).
+class CampaignInfo:
+    """Provenance stamp of one planned campaign.
 
-    Carrying the config per cell (rather than per batch) means a single
-    :meth:`ExperimentSession.run_cells` call can mix machine
-    configurations — the shape of an ablation or width sweep — and a
-    cell can never be keyed or simulated under a different config than
-    the one it was built with.
+    Deliberately tiny and fully content-derived — no timestamps, no
+    hostnames, no backend names — so any report that embeds it stays
+    byte-identical across cold/warm caches, worker counts and
+    (parity-pinned) backends.
     """
 
-    workload: str | tuple[str, ...]
-    engine: str
-    policy: str
-    cycles: int
-    warmup: int
-    config: SimConfig
+    campaign_id: str
+    cells: int
+    """Distinct cells in the planned grid (hits included)."""
+    pending: int
+    """Cells that needed execution when the plan was made."""
+
+    def as_dict(self) -> dict:
+        """JSON-safe provenance for reports (excludes ``pending``,
+        which is cache-state-dependent and would break warm/cold
+        byte-identity)."""
+        return {"campaign": self.campaign_id, "cells": self.cells}
 
 
-def _execute_batch(cells: list[Cell]) -> list[SimResult]:
-    """Worker entry point: run a batch of cells (picklable, top-level).
+@dataclass
+class CampaignPlan:
+    """Everything the plan phase decided, ready to execute."""
 
-    Cells are grouped by their config's backend and each group is
-    delivered to that backend's ``run_cells`` in one call, which is
-    where per-batch amortisation (shared tables) happens.  Results come
-    back in input order.
-    """
-    for cell in cells:
-        # Fault-injection hook (no-op unless REPRO_FAULTS is set):
-        # fires inside the worker, which is where real faults strike.
-        maybe_fire(fault_label(cell))
-    by_backend: dict[str, list[int]] = {}
-    for i, cell in enumerate(cells):
-        by_backend.setdefault(cell.config.backend, []).append(i)
-    results: list[SimResult | None] = [None] * len(cells)
-    for backend, indices in by_backend.items():
-        batch_results = get_backend(backend).run_cells(
-            [cells[i] for i in indices])
-        for i, result in zip(indices, batch_results):
-            results[i] = result
-    return results
+    cells: list[Cell]
+    keys: dict[Cell, str]
+    by_key: dict[str, Cell]
+    descriptors: dict[str, dict] = field(repr=False)
+    cached: dict[str, SimResult] = field(repr=False)
+    misses: list[str]
+    campaign_id: str
 
-
-def _execute_cell(cell: Cell) -> SimResult:
-    """Simulate one cell through its backend (picklable, top-level)."""
-    return _execute_batch([cell])[0]
+    @property
+    def info(self) -> CampaignInfo:
+        return CampaignInfo(campaign_id=self.campaign_id,
+                            cells=len(self.by_key),
+                            pending=len(self.misses))
 
 
 class ExperimentSession:
@@ -115,7 +124,7 @@ class ExperimentSession:
 
     Args:
         jobs: Worker processes for cache misses.  ``1`` (the default)
-            simulates inline in the calling process.
+            drains the campaign queue inline in the calling process.
         cache_dir: Directory for the persistent result cache; ``None``
             keeps memoisation in-process only.
         config: Default machine configuration for cells that do not
@@ -131,22 +140,29 @@ class ExperimentSession:
             ``config`` override keep that config's backend).  Validated
             eagerly so typos fail before any simulation runs.
         retries: Re-execution budget per failed cell (crash, exception
-            or timeout); retried cells are deterministic given
-            (seed, config), so recovery never changes a result.
+            or timeout), folded into each queue row's lease state;
+            retried cells are deterministic given (seed, config), so
+            recovery never changes a result.
         retry_backoff: Base seconds of the deterministic exponential
             backoff between attempts (retry ``n`` waits
             ``retry_backoff * 2**(n-1)``).
         cell_timeout: Per-cell wall-clock budget in seconds.  A cell
             still running past it is killed and retried/failed instead
-            of wedging the campaign.  Also routes ``jobs=1`` execution
-            through isolated child processes so the timeout is
-            enforceable.
+            of wedging the campaign.  Also routes execution through
+            isolated child processes so the timeout is enforceable.
         strict: Default failure mode of :meth:`run_cells`: ``True``
             raises :class:`~repro.resilience.CellExecutionError` when
             cells remain failed after retries (completed results are
             stored first), ``False`` returns partial results and
             records :class:`~repro.resilience.CellFailure` entries in
             ``self.failures`` / ``self.last_failures``.
+        campaign_dir: Root directory for durable campaign state
+            (manifest + queue, one subdirectory per campaign id).
+            ``None`` (the default) plans ephemeral campaigns — same
+            code path, nothing left behind — which is the classic
+            single-process UX.  Set it to make runs resumable
+            (``--resume``) and drainable by external
+            ``scripts/campaign_worker.py`` processes.
     """
 
     def __init__(self, jobs: int = 1, cache_dir=None,
@@ -158,7 +174,8 @@ class ExperimentSession:
                  retries: int = 0,
                  retry_backoff: float = 0.0,
                  cell_timeout: float | None = None,
-                 strict: bool = True) -> None:
+                 strict: bool = True,
+                 campaign_dir=None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if cache_budget_entries is not None and cache_budget_entries < 0:
@@ -173,17 +190,21 @@ class ExperimentSession:
         self.warmup = warmup
         self.disk = ResultCache(cache_dir) if cache_dir is not None else None
         self.cache_budget_entries = cache_budget_entries
+        self.campaign_dir = campaign_dir
         self.retry = RetryPolicy(retries=retries, backoff=retry_backoff,
                                  cell_timeout=cell_timeout)
         self.strict = strict
         self._memo: dict[str, SimResult] = {}
-        # Execution attempts scheduled: equals distinct cells simulated
-        # on a healthy run; under faults, retries count too (so the
-        # accounting shows recovery work, not just coverage).
+        self._closed = False
+        # Execution attempts charged in campaign queues: equals
+        # distinct cells simulated on a healthy run; under faults,
+        # retries count too (so the accounting shows recovery work,
+        # not just coverage).
         self.simulated = 0
         self.memo_hits = 0
         self.failures: list[CellFailure] = []
         self.last_failures: tuple[CellFailure, ...] = ()
+        self.last_campaign: CampaignInfo | None = None
 
     # ------------------------------------------------------------------
     # lifecycle / cache maintenance
@@ -194,12 +215,22 @@ class ExperimentSession:
 
         With ``cache_budget_entries`` set and a persistent cache
         attached, prunes the cache to the budget (oldest entries first;
-        a pruned cell simply re-simulates on next use).  Idempotent and
-        safe to call without a cache or budget.
+        a pruned cell simply re-simulates on next use).  Idempotent —
+        the second and later calls do nothing and return ``0`` — and
+        exception-safe: maintenance trouble (an unreadable or vanished
+        cache directory) is swallowed, because :meth:`__exit__` calls
+        this on the error path and must never mask the original
+        exception.
         """
+        if self._closed:
+            return 0
+        self._closed = True
         if self.disk is None or self.cache_budget_entries is None:
             return 0
-        return self.disk.prune(max_entries=self.cache_budget_entries)
+        try:
+            return self.disk.prune(max_entries=self.cache_budget_entries)
+        except OSError:
+            return 0
 
     def __enter__(self) -> "ExperimentSession":
         return self
@@ -234,11 +265,70 @@ class ExperimentSession:
 
     def key_for(self, cell: Cell) -> str:
         """Content-hash cache key of ``cell``."""
-        return cell_key(cell.workload, cell.engine, cell.policy,
-                        cell.cycles, cell.warmup, cell.config)
+        return key_for(cell)
 
     # ------------------------------------------------------------------
-    # execution
+    # plan
+    # ------------------------------------------------------------------
+
+    def plan(self, cells) -> CampaignPlan:
+        """Plan phase: dedup, cache-check and name a campaign.
+
+        Pure bookkeeping — nothing executes, nothing is written.  The
+        campaign id hashes *all* distinct cells (hits included), so a
+        warm re-run plans to the same campaign as the cold run that
+        populated the cache.
+        """
+        cells = list(cells)
+        keys: dict[Cell, str] = {}
+        by_key: dict[str, Cell] = {}
+        for cell in cells:
+            key = keys.setdefault(cell, key_for(cell))
+            by_key.setdefault(key, cell)
+        descriptors = {key: descriptor_for(cell)
+                       for key, cell in by_key.items()}
+        cached: dict[str, SimResult] = {}
+        misses: list[str] = []
+        for key in by_key:
+            hit = self._lookup(key)
+            if hit is not None:
+                cached[key] = hit
+            else:
+                misses.append(key)
+        return CampaignPlan(cells=cells, keys=keys, by_key=by_key,
+                            descriptors=descriptors, cached=cached,
+                            misses=misses,
+                            campaign_id=campaign_id(descriptors.values()))
+
+    def plan_campaign(self, cells) -> CampaignInfo:
+        """Plan *and persist* a campaign without executing anything.
+
+        Writes the manifest and enqueues the misses under
+        ``campaign_dir``, so external workers
+        (``scripts/campaign_worker.py``) can start draining while the
+        planner goes away.  Requires a ``campaign_dir``.
+        """
+        if self.campaign_dir is None:
+            raise ValueError("plan_campaign needs a campaign_dir "
+                             "(ephemeral campaigns cannot be handed to "
+                             "external workers)")
+        plan = self.plan(cells)
+        with self._open_campaign(plan, need_file=True):
+            pass
+        self.last_campaign = plan.info
+        return plan.info
+
+    def _open_campaign(self, plan: CampaignPlan, *,
+                       need_file: bool) -> Campaign:
+        misses = [(key, plan.descriptors[key],
+                   fault_label(plan.by_key[key]))
+                  for key in plan.misses]
+        return Campaign.open(plan.descriptors, misses,
+                             root=self.campaign_dir, retry=self.retry,
+                             need_file=need_file)
+
+    # ------------------------------------------------------------------
+    # execute
     # ------------------------------------------------------------------
 
     def run_cells(self, cells,
@@ -249,36 +339,24 @@ class ExperimentSession:
         figures cost one simulation per distinct cell.  Cells may mix
         machine configurations: each runs under its own ``config``.
 
-        Every completed cell is persisted as soon as its stripe
-        finishes, so interrupting a campaign loses only in-flight
-        work.  Cells that stay failed after the session's retry budget
-        become :class:`~repro.resilience.CellFailure` records: with
-        ``strict`` (default: the session's setting) they raise a
-        :class:`~repro.resilience.CellExecutionError`; otherwise they
-        are simply absent from the returned mapping and recorded in
-        ``self.last_failures`` / ``self.failures``.
+        Every completed cell is persisted (cache + queue ack) the
+        moment it finishes, so interrupting a campaign loses only
+        in-flight work; with a ``campaign_dir``, the interrupted
+        campaign resumes by id.  Cells that stay failed after the
+        retry budget become :class:`~repro.resilience.CellFailure`
+        records: with ``strict`` (default: the session's setting) they
+        raise a :class:`~repro.resilience.CellExecutionError`;
+        otherwise they are simply absent from the returned mapping and
+        recorded in ``self.last_failures`` / ``self.failures``.
         """
         strict = self.strict if strict is None else strict
-        cells = list(cells)
-        by_key: dict[str, Cell] = {}
-        keys: dict[Cell, str] = {}
-        for cell in cells:
-            key = keys.setdefault(cell, self.key_for(cell))
-            by_key.setdefault(key, cell)
+        plan = self.plan(cells)
+        self.last_campaign = plan.info
 
-        results: dict[str, SimResult] = {}
-        misses: list[str] = []
-        for key, cell in by_key.items():
-            cached = self._lookup(key)
-            if cached is not None:
-                results[key] = cached
-            else:
-                misses.append(key)
-
+        results: dict[str, SimResult] = dict(plan.cached)
         failures: dict[str, CellFailure] = {}
-        if misses:
-            for key, outcome in self._execute_misses(misses,
-                                                     by_key).items():
+        if plan.misses:
+            for key, outcome in self._execute_plan(plan).items():
                 if isinstance(outcome, CellFailure):
                     failures[key] = outcome
                 else:
@@ -288,183 +366,38 @@ class ExperimentSession:
         self.failures.extend(failures.values())
         if failures and strict:
             raise CellExecutionError(failures.values())
-        return {cell: results[keys[cell]] for cell in cells
-                if keys[cell] in results}
+        return {cell: results[plan.keys[cell]] for cell in plan.cells
+                if plan.keys[cell] in results}
 
-    # ------------------------------------------------------------------
-    # miss execution (fault-tolerant)
-    # ------------------------------------------------------------------
+    def _execute_plan(self, plan: CampaignPlan) -> dict:
+        """Execute a plan's misses; returns key -> SimResult|CellFailure.
 
-    def _execute_misses(self, misses: list[str],
-                        by_key: dict[str, Cell]) -> dict:
-        """Run every missing cell; returns key -> SimResult|CellFailure.
-
-        Successful results are stored (memo + disk) *before* this
-        returns — incrementally, as stripes complete — so a crash of
-        the driving process never loses finished work.
+        ``jobs=1`` drains the queue inline (the degenerate one-worker
+        case); ``jobs > 1`` spawns supervised worker processes sharing
+        the queue file and the cache.  Either way the queue rows are
+        the authoritative outcome record, and ``self.simulated``
+        advances by the execution attempts this run charged.
         """
-        workers = min(self.jobs, len(misses))
-        if workers > 1:
-            return self._run_striped(misses, by_key, workers)
-        return self._run_serial(misses, by_key)
-
-    def _run_serial(self, misses: list[str],
-                    by_key: dict[str, Cell]) -> dict:
-        """In-process execution, one cell at a time, stored as it goes.
-
-        With a ``cell_timeout`` configured (or ``jobs > 1``, meaning
-        the caller asked for worker-fault tolerance) each attempt runs
-        in an isolated child process so hangs and crashes are
-        recoverable; otherwise cells run inline, which is what the
-        test suite and warm-cache paths use.
-        """
-        isolate = self.retry.cell_timeout is not None or self.jobs > 1
-        return {key: self._run_with_retries(key, by_key[key],
-                                            isolate=isolate)
-                for key in misses}
-
-    def _run_striped(self, misses: list[str], by_key: dict[str, Cell],
-                     workers: int) -> dict:
-        """Pool execution: per-stripe futures, incremental persistence.
-
-        Each worker gets one stripe (so its backend amortises setup
-        over many cells; striping keeps per-worker load balanced when
-        neighbouring cells have similar cost).  Stripes complete
-        independently: each one's results are stored the moment its
-        future resolves.  A broken pool, an in-worker exception or a
-        blown wall-clock budget routes the affected stripe's cells to
-        per-cell isolated recovery instead of killing the campaign.
-        """
-        stripes = [misses[w::workers] for w in range(workers)]
-        outcomes: dict = {}
-        needs_recovery: dict[str, str] = {}      # key -> first error
-        pool = ProcessPoolExecutor(max_workers=workers)
+        spawn = self.jobs > 1
+        workers = min(self.jobs, len(plan.misses))
+        campaign = self._open_campaign(plan, need_file=spawn)
         try:
-            futures = {
-                pool.submit(_execute_batch,
-                            [by_key[key] for key in stripe]): stripe
-                for stripe in stripes}
-            self.simulated += len(misses)
-            deadline = None
-            if self.retry.cell_timeout is not None:
-                longest = max(len(stripe) for stripe in stripes)
-                deadline = time.monotonic() \
-                    + self.retry.cell_timeout * longest + 1.0
-            pending = set(futures)
-            while pending:
-                budget = None if deadline is None \
-                    else max(0.0, deadline - time.monotonic())
-                done, pending = wait(pending, timeout=budget,
-                                     return_when=FIRST_COMPLETED)
-                if not done:
-                    # Wall-clock budget blown: the stripes still
-                    # running are presumed hung.  Kill the pool and
-                    # hand their cells to per-cell recovery, where the
-                    # timeout is enforced precisely.
-                    for future in pending:
-                        for key in futures[future]:
-                            needs_recovery[key] = (
-                                f"stripe exceeded its wall-clock "
-                                f"budget ({self.retry.cell_timeout}s "
-                                f"per cell)")
-                    self._abandon_pool(pool)
-                    pool = None
-                    break
-                for future in done:
-                    stripe = futures[future]
-                    try:
-                        stripe_results = future.result()
-                    except BrokenProcessPool:
-                        for key in stripe:
-                            needs_recovery[key] = (
-                                "worker crashed (BrokenProcessPool)")
-                    except Exception as exc:
-                        for key in stripe:
-                            needs_recovery[key] = repr(exc)
-                    else:
-                        for key, result in zip(stripe, stripe_results):
-                            self._store(key, by_key[key], result)
-                            outcomes[key] = result
-        except BaseException:
-            # Error/interrupt: drop queued stripes (don't block on
-            # work nobody will read) and kill the workers.  Completed
-            # stripes were already stored above.
-            self._abandon_pool(pool)
-            pool = None
-            raise
+            before = campaign.attempts()
+            campaign.execute(
+                workers=workers, spawn=spawn, cache=self.disk,
+                cache_dir=str(self.disk.root)
+                if self.disk is not None else None,
+                cell_timeout=self.retry.cell_timeout,
+                lease_batch=max(1, min(MAX_LEASE_BATCH,
+                                       len(plan.misses) // workers)))
+            self.simulated += campaign.attempts() - before
+            outcomes = campaign.outcomes(plan.misses)
         finally:
-            if pool is not None:
-                pool.shutdown(wait=True, cancel_futures=True)
-
-        # Per-cell recovery, in deterministic miss order.  The stripe
-        # attempt consumed one attempt of each cell's budget.
-        for key in misses:
-            if key in needs_recovery:
-                outcomes[key] = self._run_with_retries(
-                    key, by_key[key], used=1, isolate=True,
-                    prior_error=needs_recovery[key])
+            campaign.close()
+        for key, outcome in outcomes.items():
+            if not isinstance(outcome, CellFailure):
+                self._memo[key] = outcome
         return outcomes
-
-    @staticmethod
-    def _abandon_pool(pool: ProcessPoolExecutor | None) -> None:
-        """Tear down a pool that may contain hung or dead workers.
-
-        ``shutdown`` alone would join workers that will never return;
-        killing them first makes teardown bounded.  (``_processes`` is
-        a private attribute, so fail soft if it moves.)
-        """
-        if pool is None:
-            return
-        processes = list((getattr(pool, "_processes", None) or {})
-                         .values())
-        pool.shutdown(wait=False, cancel_futures=True)
-        for proc in processes:
-            try:
-                proc.kill()
-            except OSError:
-                pass
-        for proc in processes:
-            try:
-                proc.join(1.0)
-            except (OSError, AssertionError):
-                pass
-
-    def _run_with_retries(self, key: str, cell: Cell, *, used: int = 0,
-                          isolate: bool = False,
-                          prior_error: str | None = None):
-        """Attempt one cell up to its remaining budget; store on success.
-
-        ``used`` attempts were already consumed upstream (the stripe
-        attempt); ``prior_error`` is their diagnosis.  Returns the
-        ``SimResult`` or a :class:`CellFailure`.  Retries wait out the
-        policy's deterministic exponential backoff, and isolated
-        attempts enforce the per-cell timeout.
-        """
-        last_error = prior_error
-        attempts = used
-        start = time.monotonic()
-        while attempts < self.retry.attempts:
-            attempts += 1
-            if attempts > 1:
-                delay = self.retry.delay(attempts - 1)
-                if delay:
-                    time.sleep(delay)
-            self.simulated += 1
-            try:
-                if isolate:
-                    result = run_cell_isolated(
-                        cell, timeout=self.retry.cell_timeout)
-                else:
-                    result = _execute_cell(cell)
-            except Exception as exc:
-                last_error = repr(exc)
-                continue
-            self._store(key, cell, result)
-            return result
-        return CellFailure(
-            key=key, label=fault_label(cell), attempts=attempts,
-            error=last_error or "retry budget exhausted",
-            elapsed=time.monotonic() - start)
 
     def measure(self, workload, engine: str, policy: str,
                 cycles: int | None = None,
@@ -490,14 +423,6 @@ class ExperimentSession:
             if result is not None:
                 self._memo[key] = result
         return result
-
-    def _store(self, key: str, cell: Cell, result: SimResult) -> None:
-        self._memo[key] = result
-        if self.disk is not None:
-            self.disk.put(key, result,
-                          cell_descriptor(cell.workload, cell.engine,
-                                          cell.policy, cell.cycles,
-                                          cell.warmup, cell.config))
 
     # ------------------------------------------------------------------
     # figure / claim grids

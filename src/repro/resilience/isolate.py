@@ -15,7 +15,7 @@ So each recovery attempt gets its own ``multiprocessing.Process`` and
 a one-shot pipe: the child sends ``("ok", result)`` or
 ``("err", description)`` and exits; the parent polls with the timeout
 and kills on expiry.  The child re-enters the exact same execution
-path as pool workers (:func:`repro.experiments.session._execute_cell`),
+path as campaign workers (:func:`repro.campaign.cells.execute_cell`),
 so results are byte-identical wherever a cell runs.
 """
 
@@ -37,11 +37,11 @@ class CellRemoteError(RuntimeError):
 
 
 def _child_main(conn, cell) -> None:
-    # Imported lazily: the child needs the session module, but the
-    # session module imports this one.
-    from repro.experiments.session import _execute_cell
+    # Imported lazily: the resilience layer must stay importable
+    # without pulling in the execution stack.
+    from repro.campaign.cells import execute_cell
     try:
-        result = _execute_cell(cell)
+        result = execute_cell(cell)
     except BaseException as exc:       # noqa: BLE001 — report, then die
         try:
             conn.send(("err", f"{type(exc).__name__}: {exc}"))

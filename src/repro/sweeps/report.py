@@ -90,6 +90,9 @@ def format_markdown(result: SweepResult) -> str:
             lines.append(f"- `{failure.label}` [{failure.key[:12]}] "
                          f"({failure.attempts} attempt(s)): "
                          f"{failure.error}")
+    if result.provenance:
+        lines += ["", f"Campaign `{result.provenance['campaign']}` "
+                  f"({result.provenance['cells']} distinct cells)."]
     lines.append("")
     return "\n".join(lines)
 
@@ -102,6 +105,11 @@ def format_csv(result: SweepResult) -> str:
     for metric in METRICS:
         header += [f"mean_{metric}", f"stdev_{metric}", f"ci95_{metric}"]
     header += ["speedup", "is_baseline", "missing"]
+    # Provenance rides as a constant trailing column (not a comment
+    # line: every row must stay machine-parseable by plain DictReader).
+    campaign = (result.provenance or {}).get("campaign")
+    if campaign is not None:
+        header.append("campaign")
     out = io.StringIO()
     writer = csv.writer(out, lineterminator="\n")
     writer.writerow(header)
@@ -115,6 +123,8 @@ def format_csv(result: SweepResult) -> str:
                                                         int(point
                                                             .is_baseline),
                                                         point.missing]
+            if campaign is not None:
+                row.append(campaign)
             writer.writerow(row)
             continue
         row.append(point.stats[result.spec.metric].n)
@@ -126,6 +136,8 @@ def format_csv(result: SweepResult) -> str:
                    else f"{point.speedup:.6f}")
         row.append(int(point.is_baseline))
         row.append(point.missing)
+        if campaign is not None:
+            row.append(campaign)
         writer.writerow(row)
     return out.getvalue()
 
@@ -167,6 +179,7 @@ def format_json(result: SweepResult) -> str:
         "failures": [{"key": f.key, "label": f.label,
                       "attempts": f.attempts, "error": f.error}
                      for f in result.failures],
+        "provenance": result.provenance,
     }
     return json.dumps(doc, indent=2) + "\n"
 

@@ -67,6 +67,12 @@ class SweepResult:
     """Cells that stayed failed after retries (partial-results mode);
     their replicates are the ``missing`` counts above.  Reports render
     these explicitly and CLIs exit non-zero when any are present."""
+    provenance: dict | None = None
+    """Campaign provenance stamp (``{"campaign": id, "cells": n}``),
+    carried into every report format.  Content-derived — the id hashes
+    the planned cell set, backend-normalized — so reports stay
+    byte-identical across cold/warm caches, worker counts and
+    parity-pinned backends."""
 
     def baseline_point(self) -> PointResult:
         """The speedup denominator's :class:`PointResult`."""
@@ -141,6 +147,7 @@ def run_sweep(spec: SweepSpec, session: ExperimentSession,
     results = session.run_cells([cell for _, cell in pairs],
                                 strict=strict)
     failures = session.last_failures
+    campaign = session.last_campaign
 
     replicates: dict[tuple, dict[str, list[float]]] = {}
     points_by_key: dict[tuple, dict] = {}
@@ -183,4 +190,6 @@ def run_sweep(spec: SweepSpec, session: ExperimentSession,
                        fixed={axis: value
                               for axis, value in DEFAULT_POINT.items()
                               if axis not in swept},
-                       failures=failures)
+                       failures=failures,
+                       provenance=campaign.as_dict()
+                       if campaign is not None else None)

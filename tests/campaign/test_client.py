@@ -1,0 +1,207 @@
+"""Session lifecycle, cache auditing and the CLI campaign flags.
+
+The satellite guarantees of the campaign refactor: ``close()`` is
+idempotent and exception-safe, ``ResultCache.verify()`` quarantines
+corruption proactively, and the CLIs expose plan/resume/verify as
+thin clients of the campaign engine.
+"""
+
+import importlib.util
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentSession
+from repro.experiments.cache import ResultCache
+
+SCRIPTS = Path(__file__).resolve().parents[2] / "scripts"
+
+FAST = dict(cycles=300, warmup=150)
+FAST_FLAGS = ["--cycles", "300", "--warmup", "150"]
+
+
+def load_cli(name):
+    spec = importlib.util.spec_from_file_location(
+        f"{name}_cli", SCRIPTS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+sweep_cli = load_cli("run_sweep")
+
+
+def one_cell(session):
+    return [session.make_cell("2_MIX", "stream", "ICOUNT.1.8")]
+
+
+class TestCloseSemantics:
+    def test_close_is_idempotent(self, tmp_path):
+        session = ExperimentSession(cache_dir=tmp_path / "cache",
+                                    cache_budget_entries=0, **FAST)
+        session.run_cells(one_cell(session))
+        assert session.close() == 1            # budget 0 evicts the entry
+        assert session.close() == 0            # second close: no-op
+        assert session.close() == 0
+
+    def test_close_survives_a_vanished_cache_dir(self, tmp_path):
+        session = ExperimentSession(cache_dir=tmp_path / "cache",
+                                    cache_budget_entries=0, **FAST)
+        session.run_cells(one_cell(session))
+        shutil.rmtree(tmp_path / "cache")
+        assert session.close() == 0            # swallowed, not raised
+
+    def test_exit_never_masks_the_original_exception(self, tmp_path):
+        # __exit__ runs close() on the error path; the user's exception
+        # must propagate even when cache maintenance would misbehave.
+        with pytest.raises(RuntimeError, match="user error"):
+            with ExperimentSession(cache_dir=tmp_path / "cache",
+                                   cache_budget_entries=0,
+                                   **FAST) as session:
+                session.run_cells(one_cell(session))
+                shutil.rmtree(tmp_path / "cache")
+                raise RuntimeError("user error")
+
+    def test_context_manager_closes_exactly_once(self, tmp_path):
+        with ExperimentSession(cache_dir=tmp_path / "cache",
+                               cache_budget_entries=0,
+                               **FAST) as session:
+            session.run_cells(one_cell(session))
+        assert session.close() == 0            # already closed by exit
+
+
+class TestCacheVerify:
+    def fill(self, tmp_path, n_seeds=3):
+        session = ExperimentSession(cache_dir=tmp_path / "cache", **FAST)
+        session.run_cells(
+            [session.make_cell("2_MIX", "stream", "ICOUNT.1.8", None,
+                               None, session.config.with_(seed=seed))
+             for seed in range(n_seeds)])
+        return ResultCache(tmp_path / "cache")
+
+    def test_healthy_cache_verifies_clean(self, tmp_path):
+        cache = self.fill(tmp_path)
+        assert cache.verify() == {"checked": 3, "healthy": 3,
+                                  "quarantined": 0}
+
+    def test_corrupt_entries_are_quarantined_proactively(self, tmp_path):
+        cache = self.fill(tmp_path)
+        entries = sorted(cache.root.glob("??/*.json"))
+        entries[0].write_text('{"key": "torn', encoding="utf-8")
+        payload = json.loads(entries[1].read_text(encoding="utf-8"))
+        payload["schema"] = -1
+        entries[1].write_text(json.dumps(payload), encoding="utf-8")
+
+        audit = cache.verify()
+        assert audit == {"checked": 3, "healthy": 1, "quarantined": 2}
+        # The bad files moved out of the addressable tree, with reasons.
+        assert sorted(p.name for p in entries
+                      if p.exists()) == [entries[2].name]
+        reasons = sorted(cache.quarantine_root.glob("*.reason.txt"))
+        assert len(reasons) == 2
+        # And a re-verify has nothing left to complain about.
+        assert cache.verify() == {"checked": 1, "healthy": 1,
+                                  "quarantined": 0}
+
+    def test_quarantined_cells_resimulate_once(self, tmp_path):
+        cache = self.fill(tmp_path, n_seeds=1)
+        (entry,) = cache.root.glob("??/*.json")
+        entry.write_text("garbage", encoding="utf-8")
+        cache.verify()
+        session = ExperimentSession(cache_dir=tmp_path / "cache", **FAST)
+        session.run_cells(one_cell(session))
+        assert session.simulated == 1          # healed, not looped
+
+
+class TestSweepCliCampaignFlags:
+    def plan(self, tmp_path, capsys, *extra):
+        sweep_cli.main(["--axis", "ftq_depth=1,2", *FAST_FLAGS,
+                        "--cache-dir", str(tmp_path / "cache"),
+                        "--plan-only", *extra])
+        out = capsys.readouterr()
+        return out.out.strip(), out.err
+
+    def test_plan_only_writes_campaign_state(self, tmp_path, capsys):
+        cid, err = self.plan(tmp_path, capsys)
+        assert "campaign planned under" in err
+        campaign = tmp_path / "cache" / "campaigns" / cid
+        assert (campaign / "manifest.json").is_file()
+        assert (campaign / "queue.sqlite").is_file()
+
+    def test_resume_accepts_the_planned_id(self, tmp_path, capsys):
+        cid, _ = self.plan(tmp_path, capsys)
+        out = tmp_path / "report.csv"
+        sweep_cli.main(["--axis", "ftq_depth=1,2", *FAST_FLAGS,
+                        "--cache-dir", str(tmp_path / "cache"),
+                        "--resume", cid, "--format", "csv",
+                        "--output", str(out)])
+        err = capsys.readouterr().err
+        assert f"campaign {cid}" in err
+        # Provenance rides in the report as a constant trailing column.
+        header, first, *_ = out.read_text(encoding="utf-8").splitlines()
+        assert header.endswith(",campaign")
+        assert first.endswith(f",{cid}")
+
+    def test_resume_rejects_a_different_grid(self, tmp_path, capsys):
+        cid, _ = self.plan(tmp_path, capsys)
+        with pytest.raises(SystemExit,
+                           match="does not match this invocation"):
+            sweep_cli.main(["--axis", "ftq_depth=1,2,4", *FAST_FLAGS,
+                            "--cache-dir", str(tmp_path / "cache"),
+                            "--resume", cid])
+
+    def test_verify_cache_runs_before_the_sweep(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        argv = ["--axis", "ftq_depth=1", *FAST_FLAGS,
+                "--cache-dir", str(tmp_path / "cache"),
+                "--output", str(out)]
+        sweep_cli.main(argv)
+        (entry,) = (tmp_path / "cache").glob("??/*.json")
+        entry.write_text("garbage", encoding="utf-8")
+        sweep_cli.main(argv + ["--verify-cache"])
+        err = capsys.readouterr().err
+        assert "cache verify: 1 checked, 0 healthy, 1 quarantined" in err
+
+    def test_verify_cache_requires_a_cache(self, tmp_path):
+        with pytest.raises(SystemExit):
+            sweep_cli.main(["--axis", "ftq_depth=1", "--no-cache",
+                            "--verify-cache"])
+
+    def test_plan_only_requires_a_campaign_dir(self, tmp_path):
+        with pytest.raises(SystemExit):
+            sweep_cli.main(["--axis", "ftq_depth=1", "--no-cache",
+                            "--plan-only"])
+
+
+class TestWorkerCliRoundTrip:
+    def test_external_worker_drains_a_planned_campaign(self, tmp_path,
+                                                       capsys):
+        worker_cli = load_cli("campaign_worker")
+        sweep_cli.main(["--axis", "ftq_depth=1,2", *FAST_FLAGS,
+                        "--cache-dir", str(tmp_path / "cache"),
+                        "--plan-only"])
+        cid = capsys.readouterr().out.strip()
+
+        worker_cli.main(["--campaign",
+                         str(tmp_path / "cache" / "campaigns" / cid),
+                         "--cache-dir", str(tmp_path / "cache"),
+                         "--no-wait"])
+        err = capsys.readouterr().err
+        assert "2 cell(s) executed" in err
+        assert "done=2" in err
+
+        # The warm resume assembles the report with zero simulations.
+        out = tmp_path / "report.md"
+        sweep_cli.main(["--axis", "ftq_depth=1,2", *FAST_FLAGS,
+                        "--cache-dir", str(tmp_path / "cache"),
+                        "--resume", cid, "--output", str(out)])
+        err = capsys.readouterr().err
+        assert "0 cell(s) simulated" in err
+        assert f"Campaign `{cid}`" in out.read_text(encoding="utf-8")
+
+    def test_worker_refuses_an_unplanned_campaign(self, tmp_path):
+        worker_cli = load_cli("campaign_worker")
+        with pytest.raises(SystemExit, match="no queue at"):
+            worker_cli.main(["--campaign", str(tmp_path / "nowhere")])

@@ -1,0 +1,212 @@
+"""The durable cell queue: lease/ack/nack state machine, budgets,
+crash reclamation and persistence.
+
+Pure queue-protocol tests — no simulations run here; descriptors are
+tiny stand-in dicts.  The integration suites (``test_engine.py``,
+``test_resume.py``) exercise the same protocol with real cells.
+"""
+
+import time
+
+from repro.campaign.queue import CellQueue
+
+
+def entry(n):
+    return (f"key{n}", {"cell": n}, f"label{n}")
+
+
+def fill(queue, n=3, **kwargs):
+    return queue.add([entry(i) for i in range(n)], **kwargs)
+
+
+class TestAdd:
+    def test_add_counts_only_new_rows(self):
+        with CellQueue() as queue:
+            assert fill(queue, 3) == 3
+            assert fill(queue, 3) == 0          # idempotent
+            assert queue.counts() == {"pending": 3}
+
+    def test_add_refreshes_retry_policy_of_unfinished_rows(self):
+        with CellQueue() as queue:
+            fill(queue, 1, max_attempts=1)
+            fill(queue, 1, max_attempts=3)      # resumed run's budget
+            (leased,) = queue.lease("w")
+            queue.nack(leased.key, "w", "boom")
+            # Under the original budget this row would now be failed.
+            assert queue.counts() == {"pending": 1}
+
+    def test_add_revives_failed_rows_with_fresh_budget(self):
+        with CellQueue() as queue:
+            fill(queue, 1)
+            (leased,) = queue.lease("w")
+            queue.nack(leased.key, "w", "boom")
+            assert queue.counts() == {"failed": 1}
+            fill(queue, 1)
+            assert queue.counts() == {"pending": 1}
+            (revived,) = queue.lease("w")
+            assert revived.attempts == 1        # budget reset, not resumed
+
+    def test_done_rows_are_never_touched(self):
+        with CellQueue() as queue:
+            fill(queue, 1)
+            (leased,) = queue.lease("w")
+            queue.ack(leased.key, "w", {"ipc": 1.0})
+            fill(queue, 1, max_attempts=5)
+            assert queue.counts() == {"done": 1}
+            assert queue.results()["key0"] == {"ipc": 1.0}
+
+
+class TestLeaseAckNack:
+    def test_lease_claims_oldest_first_and_charges_attempt(self):
+        with CellQueue() as queue:
+            fill(queue, 3)
+            batch = queue.lease("w", limit=2)
+            assert [lc.key for lc in batch] == ["key0", "key1"]
+            assert all(lc.attempts == 1 for lc in batch)
+            assert queue.counts() == {"leased": 2, "pending": 1}
+            assert queue.total_attempts() == 2
+
+    def test_leased_rows_are_not_leased_twice(self):
+        with CellQueue() as queue:
+            fill(queue, 2)
+            queue.lease("a", limit=2)
+            assert queue.lease("b", limit=2) == []
+
+    def test_ack_resolves_and_stores_the_result(self):
+        with CellQueue() as queue:
+            fill(queue, 1)
+            (leased,) = queue.lease("w")
+            queue.ack(leased.key, "w", {"ipc": 2.5})
+            assert queue.counts() == {"done": 1}
+            assert queue.unresolved() == 0
+            assert queue.results() == {"key0": {"ipc": 2.5}}
+
+    def test_ack_is_idempotent(self):
+        with CellQueue() as queue:
+            fill(queue, 1)
+            (leased,) = queue.lease("w")
+            queue.ack(leased.key, "w", {"ipc": 2.5})
+            queue.ack(leased.key, "other", {"ipc": 2.5})
+            assert queue.counts() == {"done": 1}
+
+    def test_nack_requeues_while_budget_remains(self):
+        with CellQueue() as queue:
+            fill(queue, 1, max_attempts=2)
+            (leased,) = queue.lease("w")
+            queue.nack(leased.key, "w", "boom")
+            assert queue.counts() == {"pending": 1}
+            (again,) = queue.lease("w")
+            assert again.attempts == 2
+
+    def test_nack_fails_the_row_once_budget_is_spent(self):
+        with CellQueue() as queue:
+            fill(queue, 1, max_attempts=2)
+            for _ in range(2):
+                (leased,) = queue.lease("w")
+                queue.nack(leased.key, "w", "boom")
+            assert queue.counts() == {"failed": 1}
+            failure = queue.failures()["key0"]
+            assert failure.attempts == 2
+            assert failure.error == "boom"
+            assert failure.label == "label0"
+
+    def test_nack_from_a_foreign_owner_is_ignored(self):
+        with CellQueue() as queue:
+            fill(queue, 1)
+            queue.lease("w")
+            queue.nack("key0", "impostor", "boom")
+            assert queue.counts() == {"leased": 1}
+
+    def test_nack_honours_exponential_backoff(self):
+        with CellQueue() as queue:
+            fill(queue, 1, max_attempts=3, backoff=30.0)
+            (leased,) = queue.lease("w")
+            queue.nack(leased.key, "w", "boom")
+            # not_before = now + 30 * 2**0: not leasable yet.
+            assert queue.lease("w") == []
+            assert queue.unresolved() == 1
+            eta = queue.earliest_not_before()
+            assert eta is not None and eta > time.time() + 25
+
+
+class TestUnlease:
+    def test_unlease_refunds_the_attempt(self):
+        with CellQueue() as queue:
+            fill(queue, 2, max_attempts=1)
+            batch = queue.lease("w", limit=2)
+            queue.nack(batch[0].key, "w", "boom")    # the culprit pays
+            queue.unlease(batch[1].key, "w")         # the innocent doesn't
+            assert queue.counts() == {"failed": 1, "pending": 1}
+            (retried,) = queue.lease("w")
+            assert retried.key == "key1"
+            assert retried.attempts == 1             # refunded, recharged
+
+    def test_unlease_is_owner_guarded(self):
+        with CellQueue() as queue:
+            fill(queue, 1)
+            queue.lease("w")
+            queue.unlease("key0", "impostor")
+            assert queue.counts() == {"leased": 1}
+
+
+class TestCrashReclamation:
+    def test_expired_lease_returns_to_pending_with_attempt_charged(self):
+        with CellQueue() as queue:
+            fill(queue, 1, max_attempts=2)
+            queue.lease("dead", lease_seconds=0.05)
+            time.sleep(0.1)
+            (reclaimed,) = queue.lease("alive")
+            assert reclaimed.attempts == 2           # dead worker's + ours
+
+    def test_expired_lease_fails_by_budget(self):
+        with CellQueue() as queue:
+            fill(queue, 1, max_attempts=1)
+            queue.lease("dead", lease_seconds=0.05)
+            time.sleep(0.1)
+            assert queue.lease("alive") == []
+            assert queue.counts() == {"failed": 1}
+            assert "lease expired" in queue.failures()["key0"].error
+
+    def test_release_returns_a_dead_workers_cells_immediately(self):
+        with CellQueue() as queue:
+            fill(queue, 3, max_attempts=2)
+            queue.lease("dead", limit=2)
+            queue.lease("alive", limit=1)
+            assert queue.release("dead", "worker crashed") == 2
+            counts = queue.counts()
+            assert counts == {"pending": 2, "leased": 1}
+
+    def test_late_ack_after_reclaim_still_lands(self):
+        # A slow-but-alive worker whose lease expired completes anyway:
+        # results are deterministic, so whoever acks first wins and the
+        # duplicate completion is harmless.
+        with CellQueue() as queue:
+            fill(queue, 1, max_attempts=3)
+            (first,) = queue.lease("slow", lease_seconds=0.05)
+            time.sleep(0.1)
+            queue.lease("fast")
+            queue.ack(first.key, "slow", {"ipc": 1.0})
+            assert queue.counts() == {"done": 1}
+
+
+class TestPersistence:
+    def test_state_survives_reconnection(self, tmp_path):
+        path = tmp_path / "queue.sqlite"
+        with CellQueue(path) as queue:
+            fill(queue, 2)
+            (leased,) = queue.lease("w", limit=1)
+            queue.ack(leased.key, "w", {"ipc": 1.5})
+        with CellQueue(path) as queue:
+            assert queue.counts() == {"done": 1, "pending": 1}
+            assert queue.results() == {"key0": {"ipc": 1.5}}
+            assert queue.total_attempts() == 1
+
+    def test_two_connections_partition_the_work(self, tmp_path):
+        path = tmp_path / "queue.sqlite"
+        with CellQueue(path) as a, CellQueue(path) as b:
+            fill(a, 4)
+            got_a = a.lease("a", limit=2)
+            got_b = b.lease("b", limit=4)
+            keys = {lc.key for lc in got_a} | {lc.key for lc in got_b}
+            assert len(got_a) == 2 and len(got_b) == 2
+            assert len(keys) == 4                    # no double-lease
