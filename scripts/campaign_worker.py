@@ -33,8 +33,16 @@ import time
 from repro.campaign.manifest import MANIFEST_NAME, QUEUE_NAME
 from repro.campaign.queue import CellQueue
 from repro.campaign.worker import DEFAULT_LEASE_SECONDS, \
-    DEFAULT_POLL_SECONDS, drain
+    DEFAULT_POLL_SECONDS, drain, write_worker_metrics
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.obs.journal import open_journal
+from repro.obs.logging_setup import (
+    add_logging_args,
+    get_logger,
+    setup_from_args,
+)
+
+log = get_logger("campaign_worker")
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -75,6 +83,7 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="exit at the first empty lease round "
                              "instead of waiting for other workers' "
                              "leases and retry backoffs to resolve")
+    add_logging_args(parser)
     args = parser.parse_args(argv)
     if args.lease_batch < 1:
         parser.error(f"--lease-batch must be >= 1, got "
@@ -90,6 +99,7 @@ def parse_args(argv=None) -> argparse.Namespace:
 
 def main(argv=None) -> None:
     args = parse_args(argv)
+    setup_from_args(args)
     queue_file = os.path.join(args.campaign, QUEUE_NAME)
     if not os.path.exists(queue_file):
         raise SystemExit(
@@ -105,25 +115,35 @@ def main(argv=None) -> None:
     worker_id = args.worker_id or \
         f"worker-{os.uname().nodename}-{os.getpid()}"
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    journal = open_journal(args.campaign, campaign_id=cid,
+                           worker_id=worker_id)
+    if cache is not None:
+        cache.journal = journal
 
-    print(f"[campaign_worker] {worker_id} draining campaign {cid}",
-          file=sys.stderr)
+    log.info("%s draining campaign %s", worker_id, cid)
     t0 = time.time()
-    queue = CellQueue(queue_file)
+    queue = CellQueue(queue_file, journal=journal)
     try:
         stats = drain(queue, worker_id=worker_id, cache=cache,
                       cell_timeout=args.cell_timeout,
                       lease_batch=args.lease_batch,
                       lease_seconds=args.lease_seconds,
-                      poll=args.poll, wait=not args.no_wait)
+                      poll=args.poll, wait=not args.no_wait,
+                      journal=journal)
         counts = queue.counts()
+        if journal.enabled:
+            write_worker_metrics(args.campaign, worker_id)
     finally:
+        journal.close()
         queue.close()
-    print(f"[campaign_worker] {worker_id}: {stats.executed} cell(s) "
-          f"executed, {stats.failed} failed attempt(s), {stats.leases} "
-          f"lease round(s) in {time.time() - t0:.1f} s; queue now "
-          + " ".join(f"{state}={n}" for state, n
-                     in sorted(counts.items())), file=sys.stderr)
+    # User-facing CLI footer (the tested output contract), not a
+    # diagnostic — always printed, whatever the log level.
+    print(f"{worker_id}: {stats.executed} cell(s) executed, "
+          f"{stats.failed} failed attempt(s), {stats.leases} lease "
+          f"round(s) in {time.time() - t0:.1f} s; queue now "
+          + " ".join(f"{state}={n}"
+                     for state, n in sorted(counts.items())),
+          file=sys.stderr)
     if counts.get("failed"):
         raise SystemExit(3)
 

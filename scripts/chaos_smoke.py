@@ -13,6 +13,14 @@ Three scenarios, each on a small 4-cell grid with ``jobs=2``:
    read must quarantine it (with a reason file) and re-simulate the
    cell exactly once, after which a warm run performs zero simulations.
 
+Every scenario also runs with a durable campaign directory and then
+audits the **event journal**: the injected fault must be attributed to
+the right cell and attempt (a crash shows up as released leases plus a
+crashed ``worker_exit``, a hang as a ``timeout`` event on the hung
+cell, a torn cache entry as a ``quarantine`` event carrying the reason
+inline) — proving the observability layer narrates faults truthfully,
+not just that execution recovers from them.
+
 Exit status 0 only when every scenario holds.  This is the CI
 ``chaos-smoke`` gate: it proves the fault-tolerance layer recovers
 from the failure modes it claims to, not just that its unit tests
@@ -31,16 +39,30 @@ from pathlib import Path
 
 from repro.core.config import DEFAULT_CONFIG
 from repro.experiments import ExperimentSession
+from repro.obs.status import load_journal
 from repro.resilience import FaultSpec, inject_faults
+from repro.resilience.faults import CRASH_EXIT_CODE
 
 CYCLES = 2_000
 POLICIES = ("ICOUNT.1.8", "RR.1.8")
 SEEDS = (0, 1)
 
 
-def make_session(cache_dir, **kwargs) -> ExperimentSession:
+def make_session(cache_dir, campaign_root=None,
+                 **kwargs) -> ExperimentSession:
+    root = campaign_root if campaign_root is not None \
+        else Path(cache_dir) / "campaigns"
     return ExperimentSession(jobs=2, cache_dir=cache_dir, cycles=CYCLES,
-                             **kwargs)
+                             campaign_dir=str(root), **kwargs)
+
+
+def journal_of(session: ExperimentSession,
+               campaign_root) -> list[dict]:
+    """The campaign journal of a session's last run."""
+    cid = session.last_campaign.campaign_id
+    events = load_journal(Path(campaign_root) / cid)
+    assert events, f"no journal for campaign {cid}"
+    return events
 
 
 def grid(session: ExperimentSession) -> list:
@@ -49,8 +71,9 @@ def grid(session: ExperimentSession) -> list:
             for policy in POLICIES for seed in SEEDS]
 
 
-def run_grid(cache_dir, **kwargs) -> tuple[dict, ExperimentSession]:
-    session = make_session(cache_dir, **kwargs)
+def run_grid(cache_dir, campaign_root=None,
+             **kwargs) -> tuple[dict, ExperimentSession]:
+    session = make_session(cache_dir, campaign_root, **kwargs)
     results = session.run_cells(grid(session))
     session.close()
     return results, session
@@ -73,6 +96,26 @@ def scenario_crash(workdir: Path) -> None:
     assert session.simulated > len(faulty), \
         f"crash retry not accounted: simulated={session.simulated}"
 
+    # Journal attribution: the supervisor must have recorded the
+    # worker's crash and released (or lease-expired) the seed0 cell it
+    # was holding — charging the right cell, not an innocent one.
+    events = journal_of(session, workdir / "crash-cache" / "campaigns")
+    crashes = [ev for ev in events if ev["ev"] == "worker_exit"
+               and ev.get("exitcode") == CRASH_EXIT_CODE]
+    assert crashes, \
+        f"no worker_exit with exit code {CRASH_EXIT_CODE} journaled"
+    reclaimed = [ev for ev in events
+                 if ev["ev"] in ("release", "lease_expired")
+                 and "seed0" in (ev.get("label") or "")]
+    assert reclaimed, "crashed worker's seed0 lease not journaled as " \
+        "released/expired"
+    # Every released cell must belong to a worker the journal says
+    # crashed — the fault is pinned to the dead worker, not scattered.
+    dead = {ev["worker"] for ev in crashes}
+    strays = [ev for ev in events if ev["ev"] == "release"
+              and ev.get("worker") not in dead]
+    assert not strays, f"releases charged to live workers: {strays}"
+
 
 def scenario_hang(workdir: Path) -> None:
     """Hung cell: killed at the timeout, recovered on retry."""
@@ -90,17 +133,33 @@ def scenario_hang(workdir: Path) -> None:
     assert elapsed < 45.0, \
         f"hang not cut short: scenario took {elapsed:.0f} s"
 
+    # Journal attribution: the kill at the wall-clock budget must be a
+    # ``timeout`` event on the hung seed1 cell's first attempt.
+    events = journal_of(session, workdir / "hang-cache" / "campaigns")
+    timeouts = [ev for ev in events if ev["ev"] == "timeout"]
+    assert timeouts, "no timeout event journaled for the hung cell"
+    assert all("seed1" in (ev.get("label") or "") for ev in timeouts), \
+        f"timeout attributed to the wrong cell: {timeouts}"
+    assert any(ev.get("attempt") == 1 for ev in timeouts), \
+        f"timeout not charged to the first attempt: {timeouts}"
+
 
 def scenario_corrupt(workdir: Path) -> None:
-    """Torn cache entry: quarantined once, never silently re-run twice."""
+    """Torn cache entry: quarantined once, never silently re-run twice.
+
+    Each run gets a *fresh* campaign root: the cache must be the only
+    persistence under test (a shared durable queue would serve the
+    corrupt cell's result from its ``done`` row and mask the
+    re-simulation this scenario asserts).
+    """
     cache = workdir / "corrupt-cache"
     with inject_faults(FaultSpec(kind="corrupt", match="seed0", times=1),
                        spool=str(workdir / "spool-corrupt")):
-        clean, _ = run_grid(cache)
+        clean, _ = run_grid(cache, workdir / "campaigns-1")
 
     # Second (cold-session) run: the torn entry quarantines and its
     # cell re-simulates exactly once; healthy entries hit.
-    again, session = run_grid(cache)
+    again, session = run_grid(cache, workdir / "campaigns-2")
     assert as_dicts(again) == as_dicts(clean), \
         "re-simulated results differ from original run"
     assert session.simulated == 1, \
@@ -112,8 +171,21 @@ def scenario_corrupt(workdir: Path) -> None:
     assert len(reasons) == 1 and reasons[0].read_text().strip(), \
         "quarantined entry has no reason file"
 
+    # Journal attribution: the quarantine must be journaled with the
+    # corruption reason inline (same text as the .reason.txt file).
+    events = journal_of(session, workdir / "campaigns-2")
+    quarantines = [ev for ev in events if ev["ev"] == "quarantine"]
+    assert len(quarantines) == 1, \
+        f"expected 1 quarantine event, got {quarantines}"
+    assert quarantines[0].get("reason") \
+        and quarantines[0]["reason"].strip() \
+        == reasons[0].read_text().strip(), \
+        f"quarantine reason not inline: {quarantines[0]}"
+    assert quarantines[0].get("key") == reasons[0].name.split(".")[0], \
+        f"quarantine charged to the wrong key: {quarantines[0]}"
+
     # Third run, fully warm: zero simulations.
-    _, warm = run_grid(cache)
+    _, warm = run_grid(cache, workdir / "campaigns-3")
     assert warm.simulated == 0, \
         f"warm run still simulated {warm.simulated} cell(s)"
 

@@ -42,6 +42,7 @@ from pathlib import Path
 from repro.experiments import FIGURES, PAPER_CLAIMS, ExperimentSession, \
     format_claims, format_figure
 from repro.experiments.cache import DEFAULT_CACHE_DIR
+from repro.obs.logging_setup import add_logging_args, setup_from_args
 from repro.perf.profiling import maybe_profiled
 from repro.resilience import CellExecutionError
 from repro.experiments.paper_data import DISTRIBUTION_CLAIMS, \
@@ -147,6 +148,7 @@ def parse_args(argv=None) -> argparse.Namespace:
                              f"names ({','.join(SECTIONS)})")
     parser.add_argument("--format", dest="fmt", choices=("md", "json"),
                         default="md", help="output format (default: md)")
+    add_logging_args(parser)
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -516,6 +518,7 @@ def run(args) -> None:
 
 def main(argv=None) -> None:
     args = parse_args(argv)
+    setup_from_args(args)
     maybe_profiled(lambda: run(args), enabled=args.profile)
 
 

@@ -47,6 +47,7 @@ from repro.core.config import DEFAULT_CONFIG
 from repro.experiments import ExperimentSession
 from repro.experiments.cache import DEFAULT_CACHE_DIR
 from repro.experiments.session import DEFAULT_CYCLES
+from repro.obs.logging_setup import add_logging_args, setup_from_args
 from repro.perf.profiling import maybe_profiled
 from repro.resilience import CellExecutionError
 from repro.sweeps import (
@@ -233,6 +234,7 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="report format (default: md)")
     parser.add_argument("--output", "-o", default=None,
                         help="write the report here instead of stdout")
+    add_logging_args(parser)
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -356,6 +358,7 @@ def run(args) -> None:
 
 def main(argv=None) -> None:
     args = parse_args(argv)
+    setup_from_args(args)
     if args.list_presets:
         list_presets()
         return

@@ -29,6 +29,16 @@ Results and failures are collected from the queue rows, not from
 worker IPC — the queue *is* the authoritative record, which is exactly
 what makes a campaign resumable by a process with no memory of the
 one that planned it.
+
+Durable campaigns (those planned with a ``root``) also carry an event
+journal, ``<campaign_dir>/events.jsonl``: planning, every queue
+transition, worker spawns and deaths, and per-cell latency breakdowns
+land there as append-only JSON lines that any number of processes
+write concurrently (appends are atomic).  The planner emits the
+``plan`` / ``worker_spawn`` events and — for workers that died without
+getting to say so themselves — the crashed ``worker_exit``; live
+workers journal their own lifecycle.  Ephemeral campaigns skip the
+journal entirely (there is no durable directory for it to live in).
 """
 
 from __future__ import annotations
@@ -41,6 +51,7 @@ from pathlib import Path
 
 from repro.campaign.manifest import (
     QUEUE_NAME,
+    campaign_dir,
     campaign_id,
     queue_path,
     write_manifest,
@@ -50,9 +61,14 @@ from repro.campaign.worker import (
     DEFAULT_LEASE_SECONDS,
     DrainStats,
     drain,
+    write_worker_metrics,
 )
 from repro.core.metrics import SimResult
+from repro.obs.journal import NULL_JOURNAL, open_journal
+from repro.obs.logging_setup import get_logger
 from repro.resilience.policy import CellFailure, RetryPolicy
+
+log = get_logger("campaign.engine")
 
 SUPERVISE_POLL_SECONDS = 0.02
 """How often the supervisor checks worker liveness."""
@@ -63,10 +79,13 @@ class Campaign:
 
     def __init__(self, cid: str, queue: CellQueue,
                  queue_file: str | None,
-                 ephemeral_dir: str | None = None) -> None:
+                 ephemeral_dir: str | None = None,
+                 journal=None, dir: str | None = None) -> None:
         self.id = cid
         self.queue = queue
         self.queue_file = queue_file
+        self.journal = journal if journal is not None else NULL_JOURNAL
+        self.dir = dir
         self._ephemeral_dir = ephemeral_dir
         self._closed = False
 
@@ -99,11 +118,16 @@ class Campaign:
         retry = retry or RetryPolicy()
         cid = campaign_id(planned.values())
         ephemeral_dir = None
+        journal = NULL_JOURNAL
+        cdir: str | None = None
         if root is not None:
             write_manifest(root, cid, planned)
             path = queue_path(root, cid)
             queue_file = str(path)
-            queue = CellQueue(path)
+            cdir = str(campaign_dir(root, cid))
+            journal = open_journal(cdir, campaign_id=cid,
+                                   worker_id=f"planner-{os.getpid()}")
+            queue = CellQueue(path, journal=journal)
         elif need_file:
             ephemeral_dir = tempfile.mkdtemp(prefix=f"campaign-{cid}-")
             queue_file = str(Path(ephemeral_dir) / QUEUE_NAME)
@@ -111,9 +135,12 @@ class Campaign:
         else:
             queue_file = None
             queue = CellQueue(":memory:")
-        queue.add(misses, max_attempts=retry.attempts,
-                  backoff=retry.backoff)
-        return cls(cid, queue, queue_file, ephemeral_dir)
+        added = queue.add(misses, max_attempts=retry.attempts,
+                          backoff=retry.backoff)
+        journal.emit("plan", cells=len(planned), enqueued=added,
+                     retry_attempts=retry.attempts)
+        return cls(cid, queue, queue_file, ephemeral_dir,
+                   journal=journal, dir=cdir)
 
     # ------------------------------------------------------------------
     # execute
@@ -134,10 +161,13 @@ class Campaign:
         there is exactly one writer per result either way.
         """
         if not spawn:
-            return drain(self.queue, worker_id="inline", cache=cache,
-                         cell_timeout=cell_timeout,
-                         lease_batch=lease_batch,
-                         lease_seconds=lease_seconds)
+            stats = drain(self.queue, worker_id="inline", cache=cache,
+                          cell_timeout=cell_timeout,
+                          lease_batch=lease_batch,
+                          lease_seconds=lease_seconds,
+                          journal=self.journal)
+            self._export_metrics(f"inline-{os.getpid()}")
+            return stats
         if self.queue_file is None:
             raise ValueError("spawned workers need a queue file "
                              "(campaign planned with need_file=False)")
@@ -154,8 +184,14 @@ class Campaign:
             stats = drain(self.queue, worker_id="recovery",
                           cache=cache, cell_timeout=cell_timeout,
                           lease_batch=1, lease_seconds=lease_seconds,
-                          isolate=True)
+                          isolate=True, journal=self.journal)
+        self._export_metrics(f"planner-{os.getpid()}")
         return stats
+
+    def _export_metrics(self, worker_id: str) -> None:
+        """Export this process's metrics under a durable campaign."""
+        if self.dir is not None and self.journal.enabled:
+            write_worker_metrics(self.dir, worker_id)
 
     def _supervise(self, count: int, *, cache_dir: str | None,
                    cell_timeout: float | None, lease_batch: int,
@@ -170,15 +206,19 @@ class Campaign:
         """
         from repro.campaign.worker import worker_process_entry
         ctx = multiprocessing.get_context()
+        from repro.obs.journal import journal_path as events_file
+        jpath = str(events_file(self.dir)) \
+            if self.dir is not None and self.journal.enabled else None
         procs: dict[str, multiprocessing.Process] = {}
         for i in range(count):
             wid = f"worker-{os.getpid()}-{i}"
             proc = ctx.Process(
                 target=worker_process_entry, name=wid,
                 args=(self.queue_file, wid, cache_dir, cell_timeout,
-                      lease_batch, lease_seconds))
+                      lease_batch, lease_seconds, jpath, self.id))
             proc.start()
             procs[wid] = proc
+            self.journal.emit("worker_spawn", worker=wid, pid=proc.pid)
         try:
             while procs:
                 for wid, proc in list(procs.items()):
@@ -187,6 +227,16 @@ class Campaign:
                         continue
                     del procs[wid]
                     if proc.exitcode != 0:
+                        log.warning(
+                            "worker %s died (exit code %s); releasing "
+                            "its leases", wid, proc.exitcode)
+                        # The worker never got to journal its own exit;
+                        # record the crash on its behalf so the report
+                        # can attribute the released cells.
+                        self.journal.emit("worker_exit", worker=wid,
+                                          pid=proc.pid,
+                                          exitcode=proc.exitcode,
+                                          crashed=True)
                         self.queue.release(
                             wid, "worker crashed "
                             f"(exit code {proc.exitcode})")
@@ -239,6 +289,7 @@ class Campaign:
             return
         self._closed = True
         self.queue.close()
+        self.journal.close()
         if self._ephemeral_dir is not None:
             shutil.rmtree(self._ephemeral_dir, ignore_errors=True)
 

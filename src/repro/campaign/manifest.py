@@ -21,6 +21,8 @@ On disk a campaign is a directory::
     <campaign_root>/<campaign_id>/
         manifest.json    # the planned cell set (write-once)
         queue.sqlite     # the durable work queue (see campaign.queue)
+        events.jsonl     # append-only event journal (see repro.obs)
+        metrics/         # per-worker Prometheus textfiles
 """
 
 from __future__ import annotations

@@ -35,6 +35,14 @@ All mutations run inside ``BEGIN IMMEDIATE`` transactions so
 concurrent workers on one queue file serialize cleanly; WAL mode keeps
 readers unblocked.  ``":memory:"`` queues are supported for the
 degenerate single-process case (no durability wanted, same code path).
+
+Observability: every state transition is reported to the queue's
+:attr:`~CellQueue.journal` (a :class:`repro.obs.Journal`, or the no-op
+:data:`~repro.obs.NULL_JOURNAL` default) — lease, ack, nack, retry,
+budget exhaustion, lease expiry, supervisor release, unlease — each
+stamped with the cell key, label, owning worker and attempt number.
+Events are buffered during the transaction and emitted only after it
+commits, so the journal never narrates a rolled-back transition.
 """
 
 from __future__ import annotations
@@ -45,6 +53,8 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs.journal import NULL_JOURNAL
+from repro.obs.metrics import REGISTRY
 from repro.resilience.policy import CellFailure
 
 _SCHEMA = """
@@ -58,6 +68,7 @@ CREATE TABLE IF NOT EXISTS cells (
     max_attempts   INTEGER NOT NULL DEFAULT 1,
     backoff        REAL NOT NULL DEFAULT 0.0,
     not_before     REAL NOT NULL DEFAULT 0.0,
+    enqueued       REAL NOT NULL DEFAULT 0.0,
     lease_owner    TEXT,
     lease_deadline REAL,
     first_leased   REAL,
@@ -90,8 +101,9 @@ class CellQueue:
     """
 
     def __init__(self, path: str | Path = ":memory:",
-                 busy_timeout: float = 30.0) -> None:
+                 busy_timeout: float = 30.0, journal=None) -> None:
         self.path = str(path)
+        self.journal = journal if journal is not None else NULL_JOURNAL
         self._conn = sqlite3.connect(self.path,
                                      timeout=busy_timeout,
                                      isolation_level=None)
@@ -100,6 +112,13 @@ class CellQueue:
             self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_SCHEMA)
+        # Queue files written before the observability layer lack the
+        # enqueued column; migrate in place (idempotent).
+        try:
+            self._conn.execute("ALTER TABLE cells ADD COLUMN enqueued "
+                               "REAL NOT NULL DEFAULT 0.0")
+        except sqlite3.OperationalError:
+            pass                       # column already exists
 
     def close(self) -> None:
         self._conn.close()
@@ -131,14 +150,16 @@ class CellQueue:
         rows are never touched: their results are the cache.
         """
         added = 0
+        now = time.time()
         with self._txn():
             for key, descriptor, label in entries:
                 cur = self._conn.execute(
                     "INSERT INTO cells (key, descriptor, label,"
-                    " max_attempts, backoff) VALUES (?, ?, ?, ?, ?)"
+                    " max_attempts, backoff, enqueued)"
+                    " VALUES (?, ?, ?, ?, ?, ?)"
                     " ON CONFLICT(key) DO NOTHING",
                     (key, json.dumps(descriptor, sort_keys=True), label,
-                     max_attempts, backoff))
+                     max_attempts, backoff, now))
                 added += cur.rowcount
                 self._conn.execute(
                     "UPDATE cells SET max_attempts = ?, backoff = ?"
@@ -169,10 +190,12 @@ class CellQueue:
         """
         now = time.time()
         leased: list[LeasedCell] = []
+        events: list[tuple[str, dict]] = []
         with self._txn():
-            self._reclaim_expired(now)
+            events += self._reclaim_expired(now)
             rows = self._conn.execute(
-                "SELECT key, descriptor, label, attempts FROM cells"
+                "SELECT key, descriptor, label, attempts, enqueued"
+                " FROM cells"
                 " WHERE state = 'pending' AND not_before <= ?"
                 " ORDER BY seq LIMIT ?", (now, limit)).fetchall()
             for row in rows:
@@ -188,6 +211,12 @@ class CellQueue:
                     key=row["key"],
                     descriptor=json.loads(row["descriptor"]),
                     label=row["label"], attempts=attempts))
+                events.append(("lease", {
+                    "key": row["key"], "label": row["label"],
+                    "worker": owner, "attempt": attempts,
+                    "queue_wait": round(now - row["enqueued"], 6)
+                    if row["enqueued"] else None}))
+        self._emit(events)
         return leased
 
     def ack(self, key: str, owner: str, result: dict) -> None:
@@ -198,19 +227,32 @@ class CellQueue:
         not already done — and since results are deterministic, whoever
         wins writes the same bytes.
         """
+        events: list[tuple[str, dict]] = []
         with self._txn():
-            self._conn.execute(
+            cur = self._conn.execute(
                 "UPDATE cells SET state = 'done', result = ?,"
                 " error = NULL, lease_owner = NULL,"
                 " lease_deadline = NULL,"
                 " elapsed = ? - first_leased"
                 " WHERE key = ? AND state != 'done'",
                 (json.dumps(result, sort_keys=True), time.time(), key))
+            if cur.rowcount:
+                row = self._conn.execute(
+                    "SELECT label, attempts, elapsed FROM cells"
+                    " WHERE key = ?", (key,)).fetchone()
+                events.append(("ack", {
+                    "key": key, "label": row["label"], "worker": owner,
+                    "attempt": row["attempts"],
+                    "elapsed": round(row["elapsed"], 6)
+                    if row["elapsed"] is not None else None}))
+        self._emit(events)
 
     def nack(self, key: str, owner: str, error: str) -> None:
         """Report failure; requeues with backoff or fails by budget."""
         with self._txn():
-            self._settle(key, error, owner=owner)
+            events = self._settle(key, error, owner=owner,
+                                  cause="nack")
+        self._emit(events)
 
     def unlease(self, key: str, owner: str) -> None:
         """Return a leased cell *unexecuted*, refunding the attempt.
@@ -220,12 +262,14 @@ class CellQueue:
         run, so its budget must not be charged.
         """
         with self._txn():
-            self._conn.execute(
+            cur = self._conn.execute(
                 "UPDATE cells SET state = 'pending',"
                 " attempts = attempts - 1, lease_owner = NULL,"
                 " lease_deadline = NULL"
                 " WHERE key = ? AND state = 'leased'"
                 " AND lease_owner = ?", (key, owner))
+        if cur.rowcount:
+            self._emit([("unlease", {"key": key, "worker": owner})])
 
     def release(self, owner: str, error: str) -> int:
         """Requeue/fail every cell ``owner`` holds (owner died).
@@ -235,63 +279,93 @@ class CellQueue:
         attempt stays charged.  Returns the number of cells released.
         """
         released = 0
+        events: list[tuple[str, dict]] = []
         with self._txn():
             rows = self._conn.execute(
                 "SELECT key FROM cells WHERE state = 'leased'"
                 " AND lease_owner = ?", (owner,)).fetchall()
             for row in rows:
-                self._settle(row["key"], error, owner=owner)
+                events += self._settle(row["key"], error, owner=owner,
+                                       cause="release")
                 released += 1
+        self._emit(events)
         return released
 
-    def _reclaim_expired(self, now: float) -> None:
+    def _reclaim_expired(self, now: float) -> list[tuple[str, dict]]:
         """Requeue/fail rows whose lease deadline has passed.
 
         Settled against the caller's ``now`` so a zero-backoff
         reclaimed row is leasable in the *same* ``lease`` call — the
         worker that discovers a death picks up the orphaned work
-        immediately instead of sleeping out a poll interval.
+        immediately instead of sleeping out a poll interval.  Returns
+        the journal events to emit once the transaction commits.
         """
         rows = self._conn.execute(
             "SELECT key FROM cells WHERE state = 'leased'"
             " AND lease_deadline < ?", (now,)).fetchall()
+        events: list[tuple[str, dict]] = []
         for row in rows:
-            self._settle(row["key"],
-                         "lease expired (worker presumed dead)",
-                         now=now)
+            events += self._settle(
+                row["key"], "lease expired (worker presumed dead)",
+                now=now, cause="lease_expired")
+        return events
 
     def _settle(self, key: str, error: str,
                 owner: str | None = None,
-                now: float | None = None) -> None:
+                now: float | None = None,
+                cause: str = "nack") -> list[tuple[str, dict]]:
         """Move one leased row to pending (budget left) or failed.
 
         Requeued rows honour the deterministic exponential backoff:
         retry ``n`` (i.e. after ``n`` charged attempts) may not lease
-        again before ``backoff * 2**(n-1)`` seconds pass.
+        again before ``backoff * 2**(n-1)`` seconds pass.  Returns the
+        journal events describing what happened (the *cause* — nack,
+        lease expiry or supervisor release — then the consequence —
+        retry or budget exhaustion), for the caller to emit after its
+        transaction commits.
         """
         guard = " AND lease_owner = ?" if owner is not None else ""
         args = (key,) + ((owner,) if owner is not None else ())
         row = self._conn.execute(
-            "SELECT attempts, max_attempts, backoff, first_leased"
+            "SELECT label, attempts, max_attempts, backoff,"
+            " first_leased, lease_owner"
             " FROM cells WHERE key = ? AND state = 'leased'" + guard,
             args).fetchone()
         if row is None:
-            return
+            return []
+        scope = {"key": key, "label": row["label"],
+                 "worker": owner if owner is not None
+                 else row["lease_owner"],
+                 "attempt": row["attempts"]}
+        events: list[tuple[str, dict]] = \
+            [(cause, {**scope, "error": error})]
         if row["attempts"] < row["max_attempts"]:
             delay = row["backoff"] * 2 ** (row["attempts"] - 1) \
                 if row["backoff"] else 0.0
+            settled = (now if now is not None else time.time())
             self._conn.execute(
                 "UPDATE cells SET state = 'pending', not_before = ?,"
                 " lease_owner = NULL, lease_deadline = NULL,"
                 " error = ? WHERE key = ?",
-                ((now if now is not None else time.time()) + delay,
-                 error, key))
+                (settled + delay, error, key))
+            REGISTRY.counter("repro_retries_total").inc()
+            events.append(("retry", {**scope,
+                                     "backoff_seconds": delay}))
         else:
             self._conn.execute(
                 "UPDATE cells SET state = 'failed', lease_owner = NULL,"
                 " lease_deadline = NULL, error = ?,"
                 " elapsed = ? - first_leased WHERE key = ?",
                 (error, time.time(), key))
+            events.append(("failed", {**scope, "error": error}))
+        if cause == "lease_expired":
+            REGISTRY.counter("repro_lease_expired_total").inc()
+        return events
+
+    def _emit(self, events: list[tuple[str, dict]]) -> None:
+        """Write buffered post-commit events to the journal."""
+        for ev, fields in events:
+            self.journal.emit(ev, **fields)
 
     # ------------------------------------------------------------------
     # observation

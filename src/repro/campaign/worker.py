@@ -33,18 +33,34 @@ Results flow to two places on ack: the shared content-addressed
 one) and the queue row itself — so a campaign's results are complete
 even with no cache configured, and the planner can collect them
 without re-reading the cache.
+
+Observability: a drain loop journals its own lifecycle
+(``worker_start`` / ``worker_exit``), each executed cell's latency
+breakdown (an ``execute`` event carrying ``execute_seconds`` and
+``cache_put_seconds``, emitted just before the queue's ``ack``) and
+explicit ``timeout`` events when an attempt dies at its wall-clock
+budget; the same quantities feed the process-local metrics registry
+(:mod:`repro.obs.metrics`), which each worker exports as a Prometheus
+textfile under the campaign directory on exit.  All of it lives here,
+at the campaign layer — the simulator cycle loop is never touched.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 
 from repro.backend import get_backend
 from repro.campaign.cells import Cell, cell_from_descriptor
 from repro.campaign.queue import CellQueue, LeasedCell
+from repro.obs.journal import NULL_JOURNAL
+from repro.obs.logging_setup import get_logger
+from repro.obs.metrics import REGISTRY
 from repro.resilience.faults import fault_label, maybe_fire
-from repro.resilience.isolate import run_cell_isolated
+from repro.resilience.isolate import CellTimeout, run_cell_isolated
+
+log = get_logger("campaign.worker")
 
 DEFAULT_LEASE_SECONDS = 300.0
 """Lease deadline given to unsupervised workers.  Generous on purpose:
@@ -70,7 +86,7 @@ def drain(queue: CellQueue, *, worker_id: str, cache=None,
           cell_timeout: float | None = None, lease_batch: int = 8,
           lease_seconds: float = DEFAULT_LEASE_SECONDS,
           poll: float = DEFAULT_POLL_SECONDS, wait: bool = True,
-          isolate: bool = False) -> DrainStats:
+          isolate: bool = False, journal=None) -> DrainStats:
     """Drain a queue until nothing is left (or leasable, with
     ``wait=False``).
 
@@ -92,8 +108,17 @@ def drain(queue: CellQueue, *, worker_id: str, cache=None,
         isolate: Force isolated child processes even without a
             timeout — the recovery path, where whatever killed the
             previous workers must not kill this one.
+        journal: Event journal for this drain's lifecycle events; also
+            attached to ``queue`` (when the queue has none) so lease /
+            ack / retry transitions are narrated too.
     """
+    journal = journal if journal is not None else NULL_JOURNAL
+    if queue.journal is NULL_JOURNAL and journal is not NULL_JOURNAL:
+        queue.journal = journal
     stats = DrainStats()
+    journal.emit("worker_start", worker=worker_id, pid=os.getpid(),
+                 cell_timeout=cell_timeout, lease_batch=lease_batch)
+    log.debug("worker %s draining %s", worker_id, queue.path)
     while True:
         batch = queue.lease(worker_id, limit=lease_batch,
                             lease_seconds=lease_seconds)
@@ -103,27 +128,47 @@ def drain(queue: CellQueue, *, worker_id: str, cache=None,
             time.sleep(poll)
             continue
         stats.leases += 1
+        REGISTRY.counter("repro_lease_rounds_total").inc()
         _execute_lease(queue, batch, worker_id=worker_id, cache=cache,
                        cell_timeout=cell_timeout, isolate=isolate,
-                       stats=stats)
+                       stats=stats, journal=journal)
+    for state, n in queue.counts().items():
+        REGISTRY.gauge("repro_queue_depth", {"state": state}).set(n)
+    journal.emit("worker_exit", worker=worker_id, pid=os.getpid(),
+                 executed=stats.executed, failed=stats.failed,
+                 leases=stats.leases)
+    log.info("worker %s done: %d executed, %d failed attempt(s), "
+             "%d lease round(s)", worker_id, stats.executed,
+             stats.failed, stats.leases)
     return stats
 
 
 def _execute_lease(queue: CellQueue, batch: list[LeasedCell], *,
                    worker_id: str, cache, cell_timeout: float | None,
-                   isolate: bool, stats: DrainStats) -> None:
+                   isolate: bool, stats: DrainStats,
+                   journal=NULL_JOURNAL) -> None:
     """Execute one leased batch, acking/nacking cell by cell."""
     cells = [cell_from_descriptor(lc.descriptor) for lc in batch]
     if isolate or cell_timeout is not None:
         for lc, cell in zip(batch, cells):
+            t0 = time.perf_counter()
             try:
                 result = run_cell_isolated(cell, timeout=cell_timeout)
             except Exception as exc:
+                if isinstance(exc, CellTimeout):
+                    REGISTRY.counter("repro_timeouts_total").inc()
+                    journal.emit("timeout", key=lc.key, label=lc.label,
+                                 worker=worker_id, attempt=lc.attempts,
+                                 budget_seconds=cell_timeout)
+                log.warning("cell %s attempt %d failed: %r",
+                            lc.label, lc.attempts, exc)
                 queue.nack(lc.key, worker_id, repr(exc))
                 stats.failed += 1
+                REGISTRY.counter("repro_cells_failed_total").inc()
             else:
                 _deliver(queue, lc, cell, result, worker_id=worker_id,
-                         cache=cache, stats=stats)
+                         cache=cache, stats=stats, journal=journal,
+                         execute_seconds=time.perf_counter() - t0)
         return
 
     by_backend: dict[str, list[int]] = {}
@@ -133,6 +178,7 @@ def _execute_lease(queue: CellQueue, batch: list[LeasedCell], *,
         group = [cells[i] for i in indices]
         it = get_backend(backend).run_cells_iter(group)
         for pos, i in enumerate(indices):
+            t0 = time.perf_counter()
             try:
                 # Fault-injection hook (no-op unless REPRO_FAULTS is
                 # set): fires in the worker, where real faults strike.
@@ -144,44 +190,96 @@ def _execute_lease(queue: CellQueue, batch: list[LeasedCell], *,
                 # (the iterator's shared state is unusable after an
                 # exception, and re-running them here would double-
                 # charge fault budgets).
+                log.warning("cell %s attempt %d failed: %r",
+                            batch[i].label, batch[i].attempts, exc)
                 queue.nack(batch[i].key, worker_id, repr(exc))
                 stats.failed += 1
+                REGISTRY.counter("repro_cells_failed_total").inc()
                 for j in indices[pos + 1:]:
                     queue.unlease(batch[j].key, worker_id)
                 break
             _deliver(queue, batch[i], cells[i], result,
-                     worker_id=worker_id, cache=cache, stats=stats)
+                     worker_id=worker_id, cache=cache, stats=stats,
+                     journal=journal,
+                     execute_seconds=time.perf_counter() - t0)
 
 
 def _deliver(queue: CellQueue, leased: LeasedCell, cell: Cell, result,
-             *, worker_id: str, cache, stats: DrainStats) -> None:
+             *, worker_id: str, cache, stats: DrainStats,
+             journal=NULL_JOURNAL,
+             execute_seconds: float | None = None) -> None:
     """Persist one completed cell, then ack its queue row.
 
     Order matters: cache first, ack second, so a ``done`` row never
-    refers to a result that was lost with the worker.
+    refers to a result that was lost with the worker.  The ``execute``
+    event (latency breakdown) precedes the ack for the same reason —
+    by the time the row is ``done``, its whole timeline is durable.
     """
+    t0 = time.perf_counter()
     if cache is not None:
         cache.put(leased.key, result, leased.descriptor)
+    cache_put_seconds = time.perf_counter() - t0
+    if execute_seconds is not None:
+        REGISTRY.histogram("repro_cell_execute_seconds") \
+            .observe(execute_seconds)
+        REGISTRY.histogram("repro_cell_cache_put_seconds") \
+            .observe(cache_put_seconds)
+        journal.emit("execute", key=leased.key, label=leased.label,
+                     worker=worker_id, attempt=leased.attempts,
+                     execute_seconds=round(execute_seconds, 6),
+                     cache_put_seconds=round(cache_put_seconds, 6))
     queue.ack(leased.key, worker_id, result.to_dict())
     stats.executed += 1
+    REGISTRY.counter("repro_cells_executed_total").inc()
+
+
+def write_worker_metrics(campaign_dir, worker_id: str) -> None:
+    """Export this process's registry as a Prometheus textfile.
+
+    One file per worker (``<campaign_dir>/metrics/<worker_id>.prom``)
+    — the node-exporter textfile-collector convention, so concurrent
+    workers never clobber each other's samples.  Best-effort: metrics
+    export must never fail a drain that already completed.
+    """
+    from pathlib import Path
+    try:
+        REGISTRY.write_textfile(
+            Path(campaign_dir) / "metrics" / f"{worker_id}.prom")
+    except OSError:
+        log.warning("could not write metrics textfile for %s",
+                    worker_id, exc_info=True)
 
 
 def worker_process_entry(queue_path: str, worker_id: str,
                          cache_dir: str | None,
                          cell_timeout: float | None,
                          lease_batch: int,
-                         lease_seconds: float) -> None:
+                         lease_seconds: float,
+                         journal_path: str | None = None,
+                         campaign_id: str | None = None) -> None:
     """Top-level (picklable) entry point for spawned worker processes.
 
-    Opens its own queue connection and cache handle — workers share
-    *files*, never Python objects.
+    Opens its own queue connection, cache handle and journal — workers
+    share *files*, never Python objects (journal appends are atomic,
+    so any number of workers write one ``events.jsonl``).
     """
     from repro.experiments.cache import ResultCache
+    from repro.obs.journal import Journal, obs_enabled
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    queue = CellQueue(queue_path)
+    journal = NULL_JOURNAL
+    if journal_path is not None and obs_enabled():
+        journal = Journal(journal_path, campaign_id=campaign_id,
+                          worker_id=worker_id)
+    if cache is not None:
+        cache.journal = journal
+    queue = CellQueue(queue_path, journal=journal)
     try:
         drain(queue, worker_id=worker_id, cache=cache,
               cell_timeout=cell_timeout, lease_batch=lease_batch,
-              lease_seconds=lease_seconds)
+              lease_seconds=lease_seconds, journal=journal)
+        if journal.enabled:
+            from pathlib import Path
+            write_worker_metrics(Path(journal_path).parent, worker_id)
     finally:
+        journal.close()
         queue.close()

@@ -36,6 +36,8 @@ from repro.campaign.cells import (
     cell_key,
 )
 from repro.core.metrics import SimResult
+from repro.obs.journal import NULL_JOURNAL
+from repro.obs.metrics import REGISTRY
 from repro.resilience.faults import descriptor_label, should_corrupt
 
 __all__ = [
@@ -74,6 +76,13 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
+        # Observability hooks.  ``journal`` is attached by whoever owns
+        # a campaign journal (worker entry point, session); quarantines
+        # that strike *before* a journal exists (cache probing during
+        # planning) accumulate in ``quarantine_events`` so the owner
+        # can flush them into the journal once it opens.
+        self.journal = NULL_JOURNAL
+        self.quarantine_events: list[dict] = []
 
     def path_for(self, key: str) -> Path:
         """Where the entry for ``key`` lives (fan-out by prefix)."""
@@ -116,12 +125,15 @@ class ResultCache:
             result = self._load(path, key)
         except FileNotFoundError:
             self.misses += 1
+            REGISTRY.counter("repro_cache_misses_total").inc()
             return None
         except (OSError, ValueError, KeyError, TypeError) as exc:
             self._quarantine(path, f"{type(exc).__name__}: {exc}")
             self.misses += 1
+            REGISTRY.counter("repro_cache_misses_total").inc()
             return None
         self.hits += 1
+        REGISTRY.counter("repro_cache_hits_total").inc()
         return result
 
     def verify(self) -> dict:
@@ -165,6 +177,13 @@ class ResultCache:
         except OSError:
             return
         self.quarantined += 1
+        REGISTRY.counter("repro_quarantines_total").inc()
+        # The journal record carries the reason *inline* — the same
+        # text as the .reason.txt file — so fault attribution does not
+        # require the quarantine directory to still exist.
+        event = {"key": path.stem, "reason": reason}
+        self.quarantine_events.append(event)
+        self.journal.emit("quarantine", **event)
         with contextlib.suppress(OSError):
             (self.quarantine_root / f"{path.stem}.reason.txt") \
                 .write_text(reason + "\n", encoding="utf-8")

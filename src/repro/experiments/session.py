@@ -55,6 +55,7 @@ from repro.core.metrics import SimResult
 from repro.experiments.cache import ResultCache
 from repro.experiments.figures import FigureSpec
 from repro.experiments.paper_data import Claim
+from repro.obs.journal import NULL_JOURNAL
 from repro.resilience.faults import fault_label
 from repro.resilience.policy import (
     CellExecutionError,
@@ -382,6 +383,16 @@ class ExperimentSession:
         workers = min(self.jobs, len(plan.misses))
         campaign = self._open_campaign(plan, need_file=spawn)
         try:
+            if self.disk is not None and campaign.journal.enabled:
+                # Quarantines struck during plan(), before this
+                # campaign's journal existed; flush them now so the
+                # report can attribute corrupt-cache faults.  Then
+                # route live quarantines (from this process's drain)
+                # straight to the journal.
+                for event in self.disk.quarantine_events:
+                    campaign.journal.emit("quarantine", **event)
+                self.disk.quarantine_events.clear()
+                self.disk.journal = campaign.journal
             before = campaign.attempts()
             campaign.execute(
                 workers=workers, spawn=spawn, cache=self.disk,
@@ -393,6 +404,8 @@ class ExperimentSession:
             self.simulated += campaign.attempts() - before
             outcomes = campaign.outcomes(plan.misses)
         finally:
+            if self.disk is not None:
+                self.disk.journal = NULL_JOURNAL
             campaign.close()
         for key, outcome in outcomes.items():
             if not isinstance(outcome, CellFailure):

@@ -1,0 +1,82 @@
+"""Campaign observability: event journal, metrics, status analytics.
+
+The campaign engine (:mod:`repro.campaign`) is a durable, fault-
+tolerant execution stack — but durability alone does not make a
+running campaign *diagnosable*.  This package adds the three signals a
+fleet operator needs, all strictly **outside** the fused cycle loop
+(instrumentation lives at the campaign layer; the simulator hot path
+is untouched, so golden parity and throughput are preserved):
+
+* :mod:`repro.obs.journal` — an append-only, crash-safe **JSONL event
+  journal** per campaign (``<campaign_root>/<id>/events.jsonl``).
+  Every lifecycle transition — plan, lease, execute, ack, nack, retry,
+  timeout, quarantine, worker start/exit — is one self-describing JSON
+  line stamped with campaign id, cell key, worker id, attempt number
+  and both wall-clock and monotonic timestamps.  Appends are atomic
+  (single ``write(2)`` on an ``O_APPEND`` descriptor), so any number
+  of workers share one journal file and a torn final line from a
+  killed worker never corrupts the lines before it.
+
+* :mod:`repro.obs.metrics` — a dependency-free **metrics registry**
+  (counters, gauges, histograms) with a Prometheus-style textfile
+  exporter.  Workers count cells executed/failed, retries, timeouts
+  and cache traffic, and observe per-cell latency split into
+  queue-wait / execute / cache-put histograms; each worker writes its
+  own ``metrics/<worker_id>.prom`` under the campaign directory.
+
+* :mod:`repro.obs.status` — the read side: reconstruct queue depth,
+  per-worker throughput, ETA and per-cell timelines from the journal
+  plus a read-only view of the queue.  ``scripts/campaign_status.py``
+  is the CLI.
+
+* :mod:`repro.obs.logging_setup` — shared structured-``logging``
+  configuration for the CLIs (``--log-level`` / ``--log-json``).
+
+The whole layer is disableable with ``REPRO_OBS=0`` (the journal and
+textfiles are simply not written); results are byte-identical either
+way, because observability only ever *watches* the execution stack.
+"""
+
+from repro.obs.journal import (
+    EVENTS_NAME,
+    JOURNAL_SCHEMA_VERSION,
+    Journal,
+    NULL_JOURNAL,
+    NullJournal,
+    obs_enabled,
+    open_journal,
+    read_events,
+)
+from repro.obs.logging_setup import (
+    add_logging_args,
+    get_logger,
+    setup_from_args,
+    setup_logging,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "EVENTS_NAME",
+    "JOURNAL_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Journal",
+    "MetricsRegistry",
+    "NULL_JOURNAL",
+    "NullJournal",
+    "REGISTRY",
+    "add_logging_args",
+    "get_logger",
+    "obs_enabled",
+    "open_journal",
+    "read_events",
+    "setup_from_args",
+    "setup_logging",
+]

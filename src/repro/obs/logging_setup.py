@@ -1,0 +1,112 @@
+"""Shared structured-logging configuration for the CLIs and workers.
+
+Every diagnostic line the execution stack emits goes through the
+``repro`` logger hierarchy (``repro.campaign.worker``,
+``repro.campaign.engine``, ``repro.campaign_worker`` ...), configured
+exactly once per process by :func:`setup_logging`:
+
+* human mode (default): ``HH:MM:SS level [name] message`` on stderr —
+  the shape the old bare ``print(..., file=sys.stderr)`` diagnostics
+  had, plus severity and source;
+* JSON mode (``--log-json``): one JSON object per line (``ts``,
+  ``level``, ``logger``, ``msg`` + any ``extra`` fields), so a fleet's
+  worker logs are machine-mergeable with the campaign journal.
+
+CLIs opt in with two flags added by :func:`add_logging_args` and a
+single :func:`setup_from_args` call.  Libraries only ever call
+:func:`get_logger` — configuration is the entry point's job.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+ROOT_LOGGER = "repro"
+
+LEVELS = ("debug", "info", "warning", "error")
+
+_RESERVED = frozenset(logging.LogRecord(
+    "", 0, "", 0, "", (), None).__dict__) | {"message", "asctime",
+                                             "taskName"}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (idempotent)."""
+    if name.startswith(ROOT_LOGGER):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; ``extra`` fields ride along."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                doc[key] = value
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True, default=str)
+
+
+class HumanFormatter(logging.Formatter):
+    """``HH:MM:SS level [logger] message`` for terminal stderr."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S",
+                              time.localtime(record.created))
+        line = (f"{stamp} {record.levelname.lower():7s} "
+                f"[{record.name}] {record.getMessage()}")
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def setup_logging(level: str = "warning", json_mode: bool = False,
+                  stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the root logger.
+
+    Idempotent per process: a second call replaces the handler (and
+    level) instead of stacking duplicates — tests and REPL sessions
+    reconfigure freely.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; choose from "
+                         f"{', '.join(LEVELS)}")
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(getattr(logging, level.upper()))
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode
+                         else HumanFormatter())
+    for old in list(logger.handlers):
+        logger.removeHandler(old)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def add_logging_args(parser) -> None:
+    """Attach the shared ``--log-level`` / ``--log-json`` flags."""
+    parser.add_argument("--log-level", choices=LEVELS,
+                        default="warning",
+                        help="diagnostic verbosity on stderr "
+                             "(default: warning)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit diagnostics as JSON lines instead "
+                             "of human-formatted text")
+
+
+def setup_from_args(args) -> logging.Logger:
+    """:func:`setup_logging` from a parsed argparse namespace."""
+    return setup_logging(level=args.log_level,
+                         json_mode=args.log_json)

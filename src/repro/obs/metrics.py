@@ -1,0 +1,253 @@
+"""Lightweight in-process metrics with a Prometheus textfile exporter.
+
+Three instrument kinds, mirroring the Prometheus data model without
+any dependency:
+
+* :class:`Counter` — monotonically increasing count (cells executed,
+  retries, quarantines, cache hits/misses).
+* :class:`Gauge` — a settable level (queue depth by state).
+* :class:`Histogram` — cumulative-bucket latency distribution with
+  ``sum`` and ``count`` (per-cell queue-wait / execute / cache-put
+  seconds); percentiles are derivable downstream.
+
+A :class:`MetricsRegistry` owns instruments keyed by (name, labels);
+:meth:`MetricsRegistry.render` produces the Prometheus text
+exposition format and :meth:`MetricsRegistry.write_textfile` writes
+it atomically — the *node-exporter textfile collector* contract, so a
+fleet can scrape worker metrics with zero extra plumbing.
+
+One process-wide default registry (:data:`REGISTRY`) is what the
+campaign stack instruments; each worker process therefore accumulates
+its own numbers and exports its own ``metrics/<worker_id>.prom``
+under the campaign directory.  Everything here is plain dict/float
+arithmetic — the overhead per event is nanoseconds against cells that
+simulate for seconds, and nothing below the campaign layer is ever
+instrumented.
+
+Shipped metric names (all prefixed ``repro_``)::
+
+    repro_cells_executed_total      counter, per worker
+    repro_cells_failed_total        counter, failed attempts
+    repro_lease_rounds_total        counter, non-empty lease rounds
+    repro_retries_total             counter, cells requeued after a nack
+    repro_timeouts_total            counter, attempts killed at budget
+    repro_lease_expired_total       counter, leases reclaimed by deadline
+    repro_quarantines_total         counter, corrupt cache entries moved
+    repro_cache_hits_total          counter, result-cache read hits
+    repro_cache_misses_total        counter, result-cache read misses
+    repro_queue_depth{state=...}    gauge, rows per queue state
+    repro_cell_queue_wait_seconds   histogram, enqueue -> lease
+    repro_cell_execute_seconds      histogram, backend execution
+    repro_cell_cache_put_seconds    histogram, result persistence
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import tempfile
+from pathlib import Path
+
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 2.5, 5.0,
+                   10.0, 30.0, 60.0, 300.0)
+"""Latency buckets (seconds) spanning cache-put microbursts to
+multi-minute cells; ``+Inf`` is implicit."""
+
+
+def _label_suffix(labels: dict[str, str] | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonic counter."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def _render(self, name: str, labels) -> list[str]:
+        return [f"{name}{_label_suffix(labels)} {_fmt(self.value)}"]
+
+
+class Gauge:
+    """Settable level."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def _render(self, name: str, labels) -> list[str]:
+        return [f"{name}{_label_suffix(labels)} {_fmt(self.value)}"]
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self, buckets=DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    def percentile(self, q: float) -> float:
+        """Approximate quantile from bucket bounds (upper bound of the
+        bucket containing the q-th observation; ``inf`` if it falls in
+        the overflow bucket, ``nan`` with no observations)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        for bound, cumulative in zip(self.buckets, self.bucket_counts):
+            if cumulative >= rank:
+                return bound
+        return math.inf
+
+    def _render(self, name: str, labels) -> list[str]:
+        lines = []
+        labels = dict(labels or {})
+        for bound, cumulative in zip(self.buckets, self.bucket_counts):
+            lines.append(f"{name}_bucket"
+                         f"{_label_suffix({**labels, 'le': _fmt(bound)})}"
+                         f" {cumulative}")
+        lines.append(f"{name}_bucket"
+                     f"{_label_suffix({**labels, 'le': '+Inf'})}"
+                     f" {self.count}")
+        lines.append(f"{name}_sum{_label_suffix(labels)} "
+                     f"{_fmt(self.sum)}")
+        lines.append(f"{name}_count{_label_suffix(labels)} {self.count}")
+        return lines
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value the way Prometheus expects."""
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Instrument factory + exporter.
+
+    Instruments are created on first use and identified by
+    ``(name, frozenset(labels))`` — asking twice returns the same
+    object, so call sites never need module-level instrument globals.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple, tuple] = {}
+        self._help: dict[str, str] = {}
+
+    def _get(self, cls, name: str, labels, help_text: str, **kwargs):
+        key = (name, frozenset((labels or {}).items()))
+        entry = self._instruments.get(key)
+        if entry is None:
+            entry = (cls(**kwargs), dict(labels or {}))
+            self._instruments[key] = entry
+            if help_text:
+                self._help.setdefault(name, help_text)
+        instrument = entry[0]
+        if not isinstance(instrument, cls):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{type(instrument).__name__}")
+        return instrument
+
+    def counter(self, name: str, labels: dict | None = None,
+                help_text: str = "") -> Counter:
+        return self._get(Counter, name, labels, help_text)
+
+    def gauge(self, name: str, labels: dict | None = None,
+              help_text: str = "") -> Gauge:
+        return self._get(Gauge, name, labels, help_text)
+
+    def histogram(self, name: str, labels: dict | None = None,
+                  help_text: str = "",
+                  buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._get(Histogram, name, labels, help_text,
+                         buckets=buckets)
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation)."""
+        self._instruments.clear()
+        self._help.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump: rendered sample name -> value."""
+        out: dict = {}
+        for (name, _), (instrument, labels) in \
+                sorted(self._instruments.items()):
+            if isinstance(instrument, Histogram):
+                out[f"{name}{_label_suffix(labels)}"] = {
+                    "count": instrument.count, "sum": instrument.sum}
+            else:
+                out[f"{name}{_label_suffix(labels)}"] = instrument.value
+        return out
+
+    def render(self) -> str:
+        """Prometheus text exposition format (stable ordering)."""
+        by_name: dict[str, list] = {}
+        for (name, _), (instrument, labels) in \
+                sorted(self._instruments.items(),
+                       key=lambda item: (item[0][0],
+                                         sorted(item[1][1].items()))):
+            by_name.setdefault(name, []).append((instrument, labels))
+        lines: list[str] = []
+        for name, entries in by_name.items():
+            if name in self._help:
+                lines.append(f"# HELP {name} {self._help[name]}")
+            lines.append(f"# TYPE {name} {entries[0][0].kind}")
+            for instrument, labels in entries:
+                lines.extend(instrument._render(name, labels))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_textfile(self, path: str | Path) -> Path:
+        """Atomically export :meth:`render` to ``path``.
+
+        Temp-file + ``os.replace``, the textfile-collector contract: a
+        scraper never reads a half-written file.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(self.render())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+REGISTRY = MetricsRegistry()
+"""The process-default registry the campaign stack instruments."""

@@ -21,6 +21,8 @@ path is visible in the geometric mean.
 from __future__ import annotations
 
 import math
+import os
+import platform
 import statistics
 import time
 from dataclasses import dataclass
@@ -68,6 +70,21 @@ QUICK_GRID: tuple[BenchCell, ...] = tuple(
     for workload in ("2_MIX", "4_MIX")
     for engine in BENCH_ENGINES)
 """CI smoke subset: the simultaneous-fetch policy on every engine."""
+
+
+def host_metadata() -> dict:
+    """Interpreter and machine facts for benchmark provenance.
+
+    Absolute throughput numbers are meaningless without knowing what
+    ran them; this stamp makes every ``BENCH_speed.json`` say so.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def geomean(values) -> float:
@@ -142,6 +159,7 @@ def run_bench(grid=BENCH_GRID, cycles: int = DEFAULT_CYCLES,
             "repeats": repeats,
             "backend": backend,
             "grid": [c.label for c in grid],
+            "host": host_metadata(),
         },
         "cells": cells,
         "geomean_kcycles_per_sec": geomean(

@@ -23,6 +23,10 @@ from __future__ import annotations
 
 import multiprocessing
 
+from repro.obs.logging_setup import get_logger
+
+log = get_logger("resilience.isolate")
+
 
 class CellCrash(RuntimeError):
     """The child died without reporting a result (e.g. OOM-killed)."""
@@ -67,12 +71,16 @@ def run_cell_isolated(cell, timeout: float | None = None):
     child_conn.close()     # parent keeps only the read end
     try:
         if not parent_conn.poll(timeout):
+            log.warning("killing cell child pid=%d: exceeded %ss "
+                        "wall-clock budget", proc.pid, timeout)
             raise CellTimeout(
                 f"cell exceeded {timeout}s wall-clock budget")
         try:
             status, payload = parent_conn.recv()
         except EOFError:
             proc.join(5.0)
+            log.warning("cell child pid=%d died without a result "
+                        "(exit code %s)", proc.pid, proc.exitcode)
             raise CellCrash(
                 f"worker crashed without a result "
                 f"(exit code {proc.exitcode})") from None

@@ -1,0 +1,128 @@
+"""Metrics instruments, registry identity, and Prometheus exposition."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter()
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge()
+        g.set(7)
+        g.inc(-2)
+        assert g.value == 5.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        h = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            h.observe(value)
+        assert h.bucket_counts == [1, 2, 3]   # cumulative
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.55)
+
+    def test_percentile(self):
+        h = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            h.observe(value)
+        assert h.percentile(0.25) == 0.1
+        assert h.percentile(0.5) == 1.0
+        assert h.percentile(1.0) == math.inf   # overflow bucket
+        assert math.isnan(Histogram().percentile(0.5))
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total")
+        b = reg.counter("repro_x_total")
+        assert a is b
+        labelled = reg.counter("repro_x_total", {"state": "done"})
+        assert labelled is not a
+        assert labelled is reg.counter("repro_x_total",
+                                       {"state": "done"})
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("repro_x_total")
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total").inc()
+        reg.reset()
+        assert reg.snapshot() == {}
+        assert reg.counter("repro_x_total").value == 0.0
+
+    def test_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_c_total").inc(2)
+        reg.gauge("repro_depth", {"state": "pending"}).set(3)
+        reg.histogram("repro_lat_seconds").observe(0.2)
+        snap = reg.snapshot()
+        assert snap["repro_c_total"] == 2.0
+        assert snap['repro_depth{state="pending"}'] == 3.0
+        assert snap["repro_lat_seconds"] == {"count": 1, "sum": 0.2}
+
+    def test_render_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_c_total", help_text="cells done").inc(2)
+        reg.gauge("repro_depth", {"state": "pending"}).set(3)
+        reg.histogram("repro_lat_seconds",
+                      buckets=(0.1, 1.0)).observe(0.5)
+        text = reg.render()
+        lines = text.splitlines()
+        assert "# HELP repro_c_total cells done" in lines
+        assert "# TYPE repro_c_total counter" in lines
+        assert "repro_c_total 2" in lines            # ints render bare
+        assert "# TYPE repro_depth gauge" in lines
+        assert 'repro_depth{state="pending"} 3' in lines
+        assert "# TYPE repro_lat_seconds histogram" in lines
+        assert 'repro_lat_seconds_bucket{le="0.1"} 0' in lines
+        assert 'repro_lat_seconds_bucket{le="1"} 1' in lines
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 1' in lines
+        assert "repro_lat_seconds_sum 0.5" in lines
+        assert "repro_lat_seconds_count 1" in lines
+        assert text.endswith("\n")
+
+    def test_render_empty_registry(self):
+        assert MetricsRegistry().render() == ""
+
+    def test_write_textfile_atomic(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("repro_c_total").inc()
+        target = tmp_path / "metrics" / "w1.prom"
+        written = reg.write_textfile(target)
+        assert written == target
+        assert target.read_text() == reg.render()
+        # No temp droppings survive the replace.
+        assert [p.name for p in target.parent.iterdir()] == ["w1.prom"]
+        # Overwrite in place on re-export.
+        reg.counter("repro_c_total").inc()
+        reg.write_textfile(target)
+        assert "repro_c_total 2" in target.read_text()

@@ -1,0 +1,211 @@
+"""Status analytics and the campaign_status CLI.
+
+A synthetic journal + queue exercise the analytics deterministically;
+a real (tiny) durable campaign exercises the CLI end to end through
+the same artifacts external workers leave behind.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CellQueue
+from repro.campaign.manifest import MANIFEST_NAME, QUEUE_NAME
+from repro.experiments import ExperimentSession
+from repro.obs.journal import Journal
+from repro.obs.status import (
+    campaign_report,
+    live_status,
+    read_queue_counts,
+)
+
+SCRIPTS = Path(__file__).resolve().parents[2] / "scripts"
+
+FAST = dict(cycles=300, warmup=150)
+
+
+def load_cli(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, SCRIPTS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def synthetic_campaign(tmp_path: Path) -> Path:
+    """A hand-built campaign dir: 2 done rows, 1 pending, rich journal."""
+    cdir = tmp_path / "deadbeef"
+    cdir.mkdir()
+    (cdir / MANIFEST_NAME).write_text(
+        json.dumps({"campaign": "deadbeef", "cells": {}}))
+    with CellQueue(cdir / QUEUE_NAME) as queue:
+        queue.add([(f"k{i}", {"i": i}, f"cell-{i}") for i in range(3)],
+                  max_attempts=2)
+        for key in ("k0", "k1"):
+            (lc,) = queue.lease("w1", limit=1)
+            assert lc.key == key
+            queue.ack(key, "w1", {"ok": True})
+    with Journal(cdir / "events.jsonl", campaign_id="deadbeef",
+                 worker_id="w1") as j:
+        j.emit("plan", cells=3, enqueued=3, worker="planner")
+        j.emit("worker_start", t_wall=100.0)
+        j.emit("lease", key="k0", label="cell-0", attempt=1,
+               queue_wait=0.5, t_wall=100.0)
+        j.emit("execute", key="k0", label="cell-0", attempt=1,
+               execute_seconds=2.0, cache_put_seconds=0.01,
+               t_wall=102.0)
+        j.emit("ack", key="k0", label="cell-0", attempt=1,
+               elapsed=2.0, t_wall=102.0)
+        j.emit("lease", key="k1", label="cell-1", attempt=1,
+               queue_wait=0.6, t_wall=102.0)
+        j.emit("nack", key="k1", label="cell-1", attempt=1,
+               error="boom", t_wall=103.0)
+        j.emit("retry", key="k1", label="cell-1", attempt=1,
+               backoff_seconds=0.0, t_wall=103.0)
+        j.emit("lease", key="k1", label="cell-1", attempt=2,
+               queue_wait=1.0, t_wall=103.0)
+        j.emit("execute", key="k1", label="cell-1", attempt=2,
+               execute_seconds=4.0, cache_put_seconds=0.02,
+               t_wall=107.0)
+        j.emit("ack", key="k1", label="cell-1", attempt=2,
+               elapsed=5.0, t_wall=108.0)
+        j.emit("quarantine", key="k9", reason="bad magic",
+               t_wall=108.0)
+        j.emit("worker_exit", exitcode=0, t_wall=108.0)
+    return cdir
+
+
+class TestLiveStatus:
+    def test_counts_progress_rate_eta(self, tmp_path):
+        doc = live_status(synthetic_campaign(tmp_path), now=110.0)
+        assert doc["campaign"] == "deadbeef"
+        assert doc["counts"] == {"done": 2, "pending": 1}
+        assert doc["total"] == 3 and doc["done"] == 2
+        assert doc["remaining"] == 1
+        assert doc["progress"] == pytest.approx(2 / 3)
+        assert doc["acks"] == 2
+        # 2 acks over the 8 s lease->ack span.
+        assert doc["cells_per_sec"] == pytest.approx(0.25)
+        assert doc["eta_seconds"] == pytest.approx(4.0)
+        assert doc["journal_events"] == 13
+        assert doc["active_workers"] == 0
+
+    def test_worker_table(self, tmp_path):
+        doc = live_status(synthetic_campaign(tmp_path))
+        w1 = doc["workers"]["w1"]
+        assert w1["executed"] == 2
+        assert w1["failed_attempts"] == 1
+        assert w1["leased"] == 3
+        assert w1["running"] is False
+        assert w1["exitcode"] == 0
+        assert w1["cells_per_sec"] == pytest.approx(2 / 8)
+
+    def test_missing_queue_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            live_status(tmp_path / "nope")
+
+    def test_journal_optional(self, tmp_path):
+        cdir = synthetic_campaign(tmp_path)
+        (cdir / "events.jsonl").unlink()
+        doc = live_status(cdir)
+        assert doc["counts"] == {"done": 2, "pending": 1}
+        assert doc["journal_events"] == 0
+        assert doc["workers"] == {}
+
+    def test_read_queue_counts_is_read_only(self, tmp_path):
+        cdir = synthetic_campaign(tmp_path)
+        before = (cdir / QUEUE_NAME).read_bytes()
+        read_queue_counts(cdir)
+        assert (cdir / QUEUE_NAME).read_bytes() == before
+
+
+class TestCampaignReport:
+    def test_totals_and_timelines(self, tmp_path):
+        doc = campaign_report(synthetic_campaign(tmp_path))
+        assert doc["campaign"] == "deadbeef"
+        assert doc["cells_tracked"] == 2
+        assert doc["attempts"] == 3
+        assert doc["retries"] == 1
+        assert doc["planned"]["cells"] == 3
+        assert doc["worker_crashes"] == []
+
+    def test_slowest_cells_ordered_with_breakdown(self, tmp_path):
+        doc = campaign_report(synthetic_campaign(tmp_path))
+        slowest = doc["slowest_cells"]
+        assert [rec["key"] for rec in slowest] == ["k1", "k0"]
+        assert slowest[0]["execute_seconds"] == 4.0
+        assert slowest[0]["cache_put_seconds"] == 0.02
+        assert slowest[0]["queue_wait_seconds"] == 0.6  # first lease
+        assert slowest[0]["acked_by"] == "w1"
+
+    def test_retry_culprits_carry_last_error(self, tmp_path):
+        doc = campaign_report(synthetic_campaign(tmp_path))
+        (culprit,) = doc["retry_culprits"]
+        assert culprit["key"] == "k1"
+        assert culprit["attempts"] == 2
+        assert culprit["last_error"] == "boom"
+        assert culprit["done"] is True
+
+    def test_quarantine_reason_inline(self, tmp_path):
+        doc = campaign_report(synthetic_campaign(tmp_path))
+        (q,) = doc["quarantines"]
+        assert q["key"] == "k9" and q["reason"] == "bad magic"
+
+    def test_top_truncates_slowest(self, tmp_path):
+        doc = campaign_report(synthetic_campaign(tmp_path), top=1)
+        assert len(doc["slowest_cells"]) == 1
+
+    def test_report_is_json_safe(self, tmp_path):
+        json.dumps(campaign_report(synthetic_campaign(tmp_path)))
+
+
+class TestStatusCli:
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        """A real durable campaign drained inline."""
+        root = tmp_path_factory.mktemp("cli-campaign")
+        session = ExperimentSession(
+            cache_dir=root / "cache",
+            campaign_dir=str(root / "campaigns"), **FAST)
+        cells = [session.make_cell("2_MIX", "stream", "ICOUNT.1.8",
+                                   None, None,
+                                   session.config.with_(seed=seed))
+                 for seed in (0, 1)]
+        session.run_cells(cells)
+        return root / "campaigns" / session.last_campaign.campaign_id
+
+    def test_status_human(self, campaign, capsys):
+        cli = load_cli("campaign_status")
+        assert cli.main(["--campaign", str(campaign)]) == 0
+        out = capsys.readouterr().out
+        assert "progress: 2/2" in out
+        assert "queue:" in out and "done=2" in out
+
+    def test_status_json(self, campaign, capsys):
+        cli = load_cli("campaign_status")
+        assert cli.main(["--campaign", str(campaign), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["done"] == 2 and doc["remaining"] == 0
+        assert doc["acks"] == 2
+
+    def test_report_json(self, campaign, capsys):
+        cli = load_cli("campaign_status")
+        assert cli.main(["--campaign", str(campaign),
+                         "--report", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts"] == {"done": 2}
+        assert doc["attempts"] == 2
+        assert len(doc["slowest_cells"]) == 2
+        assert doc["retry_culprits"] == []
+
+    def test_missing_campaign_exits_2(self, tmp_path, capsys):
+        cli = load_cli("campaign_status")
+        assert cli.main(["--campaign", str(tmp_path / "ghost")]) == 2
+        assert "campaign_status" in capsys.readouterr().err
+
+    def test_rejects_bad_top(self, campaign):
+        cli = load_cli("campaign_status")
+        with pytest.raises(SystemExit):
+            cli.main(["--campaign", str(campaign), "--top", "0"])
