@@ -91,9 +91,17 @@ def print_status(doc: dict) -> None:
             else "done")
         wrate = f"{rec['cells_per_sec']:.2f}/s" \
             if rec["cells_per_sec"] else "-"
+        beat = doc.get("heartbeats", {}).get(wid)
+        stale = wid in doc.get("stale_workers", ())
+        pulse = "" if beat is None else (
+            f", last beat {_fmt_duration(beat)} ago"
+            + (" (STALE)" if stale else ""))
         print(f"    {wid}: {rec['executed']} executed, "
               f"{rec['failed_attempts']} failed attempt(s), "
-              f"{wrate} [{state}]")
+              f"{wrate} [{state}]{pulse}")
+    if doc["counts"].get("poisoned"):
+        print(f"  POISONED: {doc['counts']['poisoned']} cell(s) "
+              f"settled as worker-fatal; see --report")
 
 
 def print_report(doc: dict) -> None:
@@ -104,7 +112,15 @@ def print_report(doc: dict) -> None:
     print(f"  activity: {doc['attempts']} attempt(s), "
           f"{doc['retries']} retried, {doc['timeouts']} timeout(s), "
           f"{doc['lease_expirations']} expired lease(s), "
-          f"{doc['releases']} release(s)")
+          f"{doc['releases']} release(s), "
+          f"{doc['heartbeat_stale_releases']} heartbeat-stale "
+          f"release(s)")
+    if doc["poisoned_cells"]:
+        print("  poisoned cells (worker-fatal, will not be retried):")
+        for p in doc["poisoned_cells"]:
+            print(f"    {p['label'] or p['key']}: "
+                  f"{p['fatal_attempts']} fatal attempt(s), "
+                  f"{p['error']}")
     if doc["worker_crashes"]:
         print("  crashes:")
         for crash in doc["worker_crashes"]:

@@ -30,6 +30,9 @@ import os
 import sys
 import time
 
+from repro.campaign.health import (DEFAULT_HEARTBEAT_STALE_SECONDS,
+                                   DrainControl, HeartbeatStore,
+                                   ResourceGuardError, check_free_disk)
 from repro.campaign.manifest import MANIFEST_NAME, QUEUE_NAME
 from repro.campaign.queue import CellQueue
 from repro.campaign.worker import DEFAULT_LEASE_SECONDS, \
@@ -83,6 +86,24 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="exit at the first empty lease round "
                              "instead of waiting for other workers' "
                              "leases and retry backoffs to resolve")
+    parser.add_argument("--heartbeat-stale", type=float,
+                        default=DEFAULT_HEARTBEAT_STALE_SECONDS,
+                        metavar="SECONDS",
+                        help="release other workers' leases early when "
+                             "their heartbeat is silent this long "
+                             "(default: "
+                             f"{DEFAULT_HEARTBEAT_STALE_SECONDS:g})")
+    parser.add_argument("--cell-memory-mb", type=float, default=None,
+                        metavar="MB",
+                        help="address-space ceiling for isolated cell "
+                             "attempts (requires --cell-timeout or a "
+                             "suspect cell; default: unlimited)")
+    parser.add_argument("--disk-floor-mb", type=float, default=None,
+                        metavar="MB",
+                        help="refuse to start when free disk under the "
+                             "cache falls below this floor (default: "
+                             "64 MB, or $REPRO_DISK_FLOOR_MB; 0 "
+                             "disables)")
     add_logging_args(parser)
     args = parser.parse_args(argv)
     if args.lease_batch < 1:
@@ -94,6 +115,12 @@ def parse_args(argv=None) -> argparse.Namespace:
     if args.cell_timeout is not None and args.cell_timeout <= 0:
         parser.error(f"--cell-timeout must be > 0, got "
                      f"{args.cell_timeout}")
+    if args.heartbeat_stale <= 0:
+        parser.error(f"--heartbeat-stale must be > 0, got "
+                     f"{args.heartbeat_stale}")
+    if args.cell_memory_mb is not None and args.cell_memory_mb <= 0:
+        parser.error(f"--cell-memory-mb must be > 0, got "
+                     f"{args.cell_memory_mb}")
     return args
 
 
@@ -114,37 +141,54 @@ def main(argv=None) -> None:
         cid = os.path.basename(os.path.normpath(args.campaign))
     worker_id = args.worker_id or \
         f"worker-{os.uname().nodename}-{os.getpid()}"
+    floor = None if args.disk_floor_mb is None \
+        else int(args.disk_floor_mb * 1024 * 1024)
+    try:
+        check_free_disk(args.campaign, floor=floor)
+        if not args.no_cache:
+            check_free_disk(args.cache_dir, floor=floor)
+    except ResourceGuardError as exc:
+        raise SystemExit(f"campaign_worker: {exc}") from None
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     journal = open_journal(args.campaign, campaign_id=cid,
                            worker_id=worker_id)
     if cache is not None:
         cache.journal = journal
+    heartbeats = HeartbeatStore(args.campaign)
+    cell_memory = None if args.cell_memory_mb is None \
+        else int(args.cell_memory_mb * 1024 * 1024)
 
     log.info("%s draining campaign %s", worker_id, cid)
     t0 = time.time()
-    queue = CellQueue(queue_file, journal=journal)
+    queue = CellQueue(queue_file, journal=journal,
+                      heartbeats=heartbeats,
+                      heartbeat_stale_seconds=args.heartbeat_stale)
+    control = DrainControl().install()
     try:
         stats = drain(queue, worker_id=worker_id, cache=cache,
                       cell_timeout=args.cell_timeout,
                       lease_batch=args.lease_batch,
                       lease_seconds=args.lease_seconds,
                       poll=args.poll, wait=not args.no_wait,
-                      journal=journal)
+                      journal=journal, control=control,
+                      heartbeats=heartbeats, cell_memory=cell_memory)
         counts = queue.counts()
         if journal.enabled:
             write_worker_metrics(args.campaign, worker_id)
     finally:
+        control.restore()
         journal.close()
         queue.close()
     # User-facing CLI footer (the tested output contract), not a
     # diagnostic — always printed, whatever the log level.
+    drained = " (drained on signal)" if stats.drained else ""
     print(f"{worker_id}: {stats.executed} cell(s) executed, "
           f"{stats.failed} failed attempt(s), {stats.leases} lease "
-          f"round(s) in {time.time() - t0:.1f} s; queue now "
+          f"round(s) in {time.time() - t0:.1f} s{drained}; queue now "
           + " ".join(f"{state}={n}"
                      for state, n in sorted(counts.items())),
           file=sys.stderr)
-    if counts.get("failed"):
+    if counts.get("failed") or counts.get("poisoned"):
         raise SystemExit(3)
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Chaos smoke: drive the resilience layer through injected faults.
 
-Three scenarios, each on a small 4-cell grid with ``jobs=2``:
+Six scenarios, each on a small 4-cell grid with ``jobs=2``:
 
 1. **crash** — one worker dies mid-stripe (``os._exit``) on its first
    attempt; the retry machinery must recover every cell and the final
@@ -12,6 +12,18 @@ Three scenarios, each on a small 4-cell grid with ``jobs=2``:
 3. **corrupt** — a cache entry is torn after being written; the next
    read must quarantine it (with a reason file) and re-simulate the
    cell exactly once, after which a warm run performs zero simulations.
+4. **sigterm_drain** — SIGTERM lands on an external worker mid-cell;
+   the worker finishes the in-flight cell, returns the rest of its
+   lease to ``pending``, journals ``worker_drain`` and exits 0 — and
+   ``--resume`` then regenerates a report *byte-identical* to a
+   fault-free campaign of the same grid.
+5. **poison** — one cell crashes the worker on *every* attempt; its
+   retry budget settles it as ``poisoned`` (journaled), the other
+   cells complete, and only the first attempt costs a fleet worker
+   (later attempts are contained in isolated children).
+6. **doctor** — a wrecked campaign directory (orphan lease, leftover
+   heartbeat, stale cache temp file) audits dirty, is restored by
+   ``campaign_doctor --repair``, and re-audits clean.
 
 Every scenario also runs with a durable campaign directory and then
 audits the **event journal**: the injected fault must be attributed to
@@ -31,7 +43,12 @@ Usage::
     PYTHONPATH=src python scripts/chaos_smoke.py
 """
 
+import json
+import os
 import shutil
+import signal
+import sqlite3
+import subprocess
 import sys
 import tempfile
 import time
@@ -39,13 +56,36 @@ from pathlib import Path
 
 from repro.core.config import DEFAULT_CONFIG
 from repro.experiments import ExperimentSession
-from repro.obs.status import load_journal
+from repro.obs.status import load_journal, read_queue_counts
 from repro.resilience import FaultSpec, inject_faults
-from repro.resilience.faults import CRASH_EXIT_CODE
+from repro.resilience.faults import CRASH_EXIT_CODE, fault_label
 
 CYCLES = 2_000
 POLICIES = ("ICOUNT.1.8", "RR.1.8")
 SEEDS = (0, 1)
+
+REPO = Path(__file__).resolve().parents[1]
+SCRIPTS = REPO / "scripts"
+SWEEP_FLAGS = ("--axis", "ftq_depth=1,2,4,8",
+               "--cycles", str(CYCLES), "--warmup", str(CYCLES // 2))
+
+
+def cli_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    return env
+
+
+def run_cli(script: str, *argv, check: bool = True):
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPTS / script), *map(str, argv)],
+        capture_output=True, text=True, env=cli_env())
+    assert not check or proc.returncode == 0, \
+        f"{script} {' '.join(map(str, argv))} exited " \
+        f"{proc.returncode}:\n{proc.stderr}"
+    return proc
 
 
 def make_session(cache_dir, campaign_root=None,
@@ -190,8 +230,169 @@ def scenario_corrupt(workdir: Path) -> None:
         f"warm run still simulated {warm.simulated} cell(s)"
 
 
+def scenario_sigterm_drain(workdir: Path) -> None:
+    """SIGTERM mid-drain: graceful exit 0, then a byte-identical resume.
+
+    The fault-free reference and the drained campaign plan the same
+    grid (hence the same campaign id), so their ``--resume`` reports
+    must match byte-for-byte — proving the drain lost nothing and
+    double-ran nothing.
+    """
+    plan = run_cli("run_sweep.py", *SWEEP_FLAGS,
+                   "--cache-dir", workdir / "ref-cache", "--plan-only")
+    cid = plan.stdout.strip()
+    run_cli("run_sweep.py", *SWEEP_FLAGS,
+            "--cache-dir", workdir / "ref-cache", "--resume", cid,
+            "--format", "csv", "--output", workdir / "ref.csv")
+
+    run_cli("run_sweep.py", *SWEEP_FLAGS,
+            "--cache-dir", workdir / "drain-cache", "--plan-only")
+    cdir = workdir / "drain-cache" / "campaigns" / cid
+
+    # One slow cell keeps the worker mid-drain long enough for the
+    # signal to land while the rest of the lease is still unstarted.
+    with inject_faults(FaultSpec(kind="hang", match="*", times=1,
+                                 seconds=6.0),
+                       spool=str(workdir / "spool-drain")):
+        proc = subprocess.Popen(
+            [sys.executable, str(SCRIPTS / "campaign_worker.py"),
+             "--campaign", str(cdir),
+             "--cache-dir", str(workdir / "drain-cache"), "--no-wait"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=cli_env())
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            events = load_journal(cdir)
+            if any(ev["ev"] == "lease" for ev in events):
+                break
+            time.sleep(0.1)
+        else:
+            proc.kill()
+            raise AssertionError("worker never leased a cell")
+        proc.send_signal(signal.SIGTERM)
+        _, stderr = proc.communicate(timeout=90)
+    assert proc.returncode == 0, \
+        f"drained worker exited {proc.returncode}:\n{stderr}"
+    assert "(drained on signal)" in stderr, \
+        f"no drain notice in worker footer:\n{stderr}"
+
+    counts = read_queue_counts(cdir)
+    assert counts.get("leased", 0) == 0, \
+        f"drain left cells leased: {counts}"
+    assert counts.get("pending", 0) >= 1, \
+        f"nothing returned to pending: {counts}"
+    assert counts.get("done", 0) + counts["pending"] == 4, \
+        f"cells unaccounted for after drain: {counts}"
+    events = load_journal(cdir)
+    drains = [ev for ev in events if ev["ev"] == "worker_drain"]
+    assert drains, "no worker_drain event journaled"
+    assert drains[0].get("signal") == signal.SIGTERM, \
+        f"drain not attributed to SIGTERM: {drains[0]}"
+    assert drains[0].get("unleased", 0) >= 1, \
+        f"drain unleased nothing: {drains[0]}"
+
+    run_cli("run_sweep.py", *SWEEP_FLAGS,
+            "--cache-dir", workdir / "drain-cache", "--resume", cid,
+            "--format", "csv", "--output", workdir / "drained.csv")
+    assert (workdir / "drained.csv").read_bytes() \
+        == (workdir / "ref.csv").read_bytes(), \
+        "post-drain resume report differs from fault-free run"
+
+
+def scenario_poison(workdir: Path) -> None:
+    """Crash-every-attempt cell: poisoned, contained, fleet survives."""
+    session = make_session(workdir / "poison-cache", retries=2)
+    cells = grid(session)
+    target = fault_label(cells[0])
+    with inject_faults(FaultSpec(kind="crash", match=target, times=3),
+                       spool=str(workdir / "spool-poison")):
+        results = session.run_cells(cells, strict=False)
+    session.close()
+
+    assert len(results) == 3, \
+        f"innocent cells lost to the poison cell: {len(results)} done"
+    assert len(session.failures) == 1, \
+        f"expected 1 failure, got {session.failures}"
+    failure = session.failures[0]
+    assert "poisoned" in failure.error, \
+        f"poison cell not reported as poisoned: {failure}"
+
+    cdir = Path(workdir / "poison-cache" / "campaigns"
+                / session.last_campaign.campaign_id)
+    counts = read_queue_counts(cdir)
+    assert counts.get("poisoned") == 1 and counts.get("done") == 3, \
+        f"queue counts wrong after poisoning: {counts}"
+    events = load_journal(cdir)
+    poisons = [ev for ev in events if ev["ev"] == "poisoned"]
+    assert len(poisons) == 1, f"expected 1 poisoned event: {poisons}"
+    assert "seed0" in (poisons[0].get("label") or ""), \
+        f"poison charged to the wrong cell: {poisons[0]}"
+    # Containment: only the first attempt may cost a fleet worker —
+    # later attempts run in isolated children whose deaths are local.
+    crashes = [ev for ev in events if ev["ev"] == "worker_exit"
+               and ev.get("exitcode") == CRASH_EXIT_CODE]
+    assert len(crashes) == 1, \
+        f"poison cell kept killing fleet workers: {crashes}"
+
+
+def scenario_doctor(workdir: Path) -> None:
+    """Wrecked campaign dir: dirty audit, --repair, clean audit."""
+    cache = workdir / "doctor-cache"
+    plan = run_cli("run_sweep.py", *SWEEP_FLAGS,
+                   "--cache-dir", cache, "--plan-only")
+    cid = plan.stdout.strip()
+    cdir = cache / "campaigns" / cid
+
+    # Wreck it the way kill -9 does: a lease whose owner is gone, a
+    # heartbeat nobody will ever clear, a temp file mid-rename.
+    conn = sqlite3.connect(cdir / "queue.sqlite")
+    conn.execute(
+        "UPDATE cells SET state='leased', lease_owner='ghost',"
+        " lease_deadline=?, lease_seconds=30.0"
+        " WHERE key = (SELECT MIN(key) FROM cells)",
+        (time.time() - 300.0,))
+    conn.commit()
+    conn.close()
+    beats = cdir / "heartbeats"
+    beats.mkdir(exist_ok=True)
+    stale = beats / "phantom.json"
+    stale.write_text(json.dumps({"worker": "phantom"}),
+                     encoding="utf-8")
+    os.utime(stale, (time.time() - 600, time.time() - 600))
+    (cache / "ab").mkdir(parents=True, exist_ok=True)
+    debris = cache / "ab" / "orphan.tmp"
+    debris.write_text("junk", encoding="utf-8")
+    os.utime(debris, (time.time() - 5000, time.time() - 5000))
+
+    audit = run_cli("campaign_doctor.py", "--campaign", cdir,
+                    "--cache-dir", cache, check=False)
+    assert audit.returncode == 1, \
+        f"dirty audit exited {audit.returncode}:\n{audit.stdout}"
+    for check in ("orphan_lease", "leftover_heartbeat", "stale_tmp"):
+        assert check in audit.stdout, \
+            f"audit missed {check}:\n{audit.stdout}"
+
+    repair = run_cli("campaign_doctor.py", "--campaign", cdir,
+                     "--cache-dir", cache, "--repair", check=False)
+    assert repair.returncode == 0, \
+        f"--repair exited {repair.returncode}:\n{repair.stdout}"
+
+    clean = run_cli("campaign_doctor.py", "--campaign", cdir,
+                    "--cache-dir", cache, check=False)
+    assert clean.returncode == 0 and "clean" in clean.stdout, \
+        f"post-repair audit not clean:\n{clean.stdout}"
+    counts = read_queue_counts(cdir)
+    assert counts.get("leased", 0) == 0 \
+        and counts.get("pending", 0) == 4, \
+        f"repair did not requeue the orphan lease: {counts}"
+    assert not stale.exists() and not debris.exists(), \
+        "repair left debris behind"
+
+
 def main() -> int:
-    scenarios = (scenario_crash, scenario_hang, scenario_corrupt)
+    scenarios = (scenario_crash, scenario_hang, scenario_corrupt,
+                 scenario_sigterm_drain, scenario_poison,
+                 scenario_doctor)
     failed = 0
     for scenario in scenarios:
         name = scenario.__name__.removeprefix("scenario_")

@@ -519,7 +519,14 @@ def run(args) -> None:
 def main(argv=None) -> None:
     args = parse_args(argv)
     setup_from_args(args)
-    maybe_profiled(lambda: run(args), enabled=args.profile)
+    try:
+        maybe_profiled(lambda: run(args), enabled=args.profile)
+    except KeyboardInterrupt as exc:
+        # A drained campaign interrupt carries its own resume hint;
+        # a bare ^C at least names the standard exit code.
+        detail = f": {exc}" if exc.args else ""
+        print(f"run_experiments: interrupted{detail}", file=sys.stderr)
+        raise SystemExit(130) from None
 
 
 if __name__ == "__main__":

@@ -362,7 +362,14 @@ def main(argv=None) -> None:
     if args.list_presets:
         list_presets()
         return
-    maybe_profiled(lambda: run(args), enabled=args.profile)
+    try:
+        maybe_profiled(lambda: run(args), enabled=args.profile)
+    except KeyboardInterrupt as exc:
+        # A drained campaign interrupt carries its own resume hint;
+        # a bare ^C at least names the standard exit code.
+        detail = f": {exc}" if exc.args else ""
+        print(f"run_sweep: interrupted{detail}", file=sys.stderr)
+        raise SystemExit(130) from None
 
 
 if __name__ == "__main__":

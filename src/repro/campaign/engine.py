@@ -46,9 +46,16 @@ from __future__ import annotations
 import multiprocessing
 import os
 import shutil
+import signal
 import tempfile
+import time
 from pathlib import Path
 
+from repro.campaign.health import (
+    DrainControl,
+    HeartbeatStore,
+    check_free_disk,
+)
 from repro.campaign.manifest import (
     QUEUE_NAME,
     campaign_dir,
@@ -73,6 +80,17 @@ log = get_logger("campaign.engine")
 SUPERVISE_POLL_SECONDS = 0.02
 """How often the supervisor checks worker liveness."""
 
+DEFAULT_DRAIN_GRACE_SECONDS = 60.0
+"""How long the supervisor waits for signalled workers to finish
+their in-flight cells before killing the holdouts.  Generous: a drain
+that kills a worker mid-cell only downgrades graceful to crash-safe,
+but the whole point of forwarding the signal was to avoid that."""
+
+RECLAIM_INTERVAL_SECONDS = 1.0
+"""How often the supervisor sweeps the queue for reclaimable leases
+(deadline-expired or heartbeat-stale owners, e.g. external workers
+that died without a supervisor of their own)."""
+
 
 class Campaign:
     """One planned cell set bound to one (possibly durable) queue."""
@@ -80,12 +98,14 @@ class Campaign:
     def __init__(self, cid: str, queue: CellQueue,
                  queue_file: str | None,
                  ephemeral_dir: str | None = None,
-                 journal=None, dir: str | None = None) -> None:
+                 journal=None, dir: str | None = None,
+                 heartbeats: HeartbeatStore | None = None) -> None:
         self.id = cid
         self.queue = queue
         self.queue_file = queue_file
         self.journal = journal if journal is not None else NULL_JOURNAL
         self.dir = dir
+        self.heartbeats = heartbeats
         self._ephemeral_dir = ephemeral_dir
         self._closed = False
 
@@ -120,18 +140,25 @@ class Campaign:
         ephemeral_dir = None
         journal = NULL_JOURNAL
         cdir: str | None = None
+        heartbeats: HeartbeatStore | None = None
         if root is not None:
+            # Resource preflight: refuse to start a campaign a full
+            # disk would wedge mid-drain (raises ResourceGuardError).
+            check_free_disk(root)
             write_manifest(root, cid, planned)
             path = queue_path(root, cid)
             queue_file = str(path)
             cdir = str(campaign_dir(root, cid))
             journal = open_journal(cdir, campaign_id=cid,
                                    worker_id=f"planner-{os.getpid()}")
-            queue = CellQueue(path, journal=journal)
+            heartbeats = HeartbeatStore(cdir)
+            queue = CellQueue(path, journal=journal,
+                              heartbeats=heartbeats)
         elif need_file:
             ephemeral_dir = tempfile.mkdtemp(prefix=f"campaign-{cid}-")
             queue_file = str(Path(ephemeral_dir) / QUEUE_NAME)
-            queue = CellQueue(queue_file)
+            heartbeats = HeartbeatStore(ephemeral_dir)
+            queue = CellQueue(queue_file, heartbeats=heartbeats)
         else:
             queue_file = None
             queue = CellQueue(":memory:")
@@ -140,7 +167,7 @@ class Campaign:
         journal.emit("plan", cells=len(planned), enqueued=added,
                      retry_attempts=retry.attempts)
         return cls(cid, queue, queue_file, ephemeral_dir,
-                   journal=journal, dir=cdir)
+                   journal=journal, dir=cdir, heartbeats=heartbeats)
 
     # ------------------------------------------------------------------
     # execute
@@ -159,22 +186,46 @@ class Campaign:
         mode launches ``workers`` processes which open their own
         caches from ``cache_dir``; the parent only supervises, so
         there is exactly one writer per result either way.
+
+        If a SIGTERM/SIGINT arrives during supervised execution, the
+        signal is forwarded to the fleet, every worker finishes its
+        in-flight cell and returns the rest of its lease, and this
+        method raises :class:`KeyboardInterrupt` with a resume hint —
+        completed cells are durable, so ``--resume`` picks up exactly
+        where the drain stopped.
         """
+        # Resource preflight on whichever filesystem results land on.
+        target = self.dir or cache_dir or \
+            (str(cache.root) if cache is not None else None)
+        if target is not None:
+            check_free_disk(target)
         if not spawn:
             stats = drain(self.queue, worker_id="inline", cache=cache,
                           cell_timeout=cell_timeout,
                           lease_batch=lease_batch,
                           lease_seconds=lease_seconds,
-                          journal=self.journal)
+                          journal=self.journal,
+                          heartbeats=self.heartbeats)
             self._export_metrics(f"inline-{os.getpid()}")
             return stats
         if self.queue_file is None:
             raise ValueError("spawned workers need a queue file "
                              "(campaign planned with need_file=False)")
-        self._supervise(workers, cache_dir=cache_dir,
-                        cell_timeout=cell_timeout,
-                        lease_batch=lease_batch,
-                        lease_seconds=lease_seconds)
+        signum = self._supervise(workers, cache_dir=cache_dir,
+                                 cell_timeout=cell_timeout,
+                                 lease_batch=lease_batch,
+                                 lease_seconds=lease_seconds)
+        if signum is not None:
+            # Graceful drain: do NOT run the recovery drain — the
+            # operator asked the campaign to stop, not to finish.
+            unresolved = self.queue.unresolved()
+            self.journal.emit("campaign_interrupted", signal=signum,
+                              unresolved=unresolved)
+            self._export_metrics(f"planner-{os.getpid()}")
+            raise KeyboardInterrupt(
+                f"campaign {self.id} interrupted by signal {signum} "
+                f"with {unresolved} cell(s) unresolved; completed "
+                f"cells are durable — resume with --resume {self.id}")
         stats = DrainStats()
         if self.queue.unresolved():
             # Every worker died with work outstanding (or crash
@@ -184,7 +235,8 @@ class Campaign:
             stats = drain(self.queue, worker_id="recovery",
                           cache=cache, cell_timeout=cell_timeout,
                           lease_batch=1, lease_seconds=lease_seconds,
-                          isolate=True, journal=self.journal)
+                          isolate=True, journal=self.journal,
+                          heartbeats=self.heartbeats)
         self._export_metrics(f"planner-{os.getpid()}")
         return stats
 
@@ -195,7 +247,9 @@ class Campaign:
 
     def _supervise(self, count: int, *, cache_dir: str | None,
                    cell_timeout: float | None, lease_batch: int,
-                   lease_seconds: float) -> None:
+                   lease_seconds: float,
+                   drain_grace: float = DEFAULT_DRAIN_GRACE_SECONDS) \
+            -> int | None:
         """Run worker processes; reap the dead, release their leases.
 
         Workers exit on their own once every row is resolved (they
@@ -203,6 +257,16 @@ class Campaign:
         is always picked up by a survivor).  Processes are non-daemonic
         because workers with a ``cell_timeout`` spawn isolation
         children of their own.
+
+        The supervisor is signal-aware: on SIGTERM/SIGINT it forwards
+        SIGTERM to every live worker (triggering their graceful
+        drains), waits up to ``drain_grace`` seconds for them to
+        finish their in-flight cells, kills any holdout, and returns
+        the signal number — the caller decides what an interrupted
+        campaign means.  Returns ``None`` on an undisturbed run.  It
+        also periodically sweeps the queue for reclaimable leases
+        (heartbeat-stale or deadline-expired owners), which matters
+        when external workers share the queue file.
         """
         from repro.campaign.worker import worker_process_entry
         ctx = multiprocessing.get_context()
@@ -219,27 +283,67 @@ class Campaign:
             proc.start()
             procs[wid] = proc
             self.journal.emit("worker_spawn", worker=wid, pid=proc.pid)
+
+        def reap_dead(wid: str,
+                      proc: multiprocessing.Process) -> None:
+            del procs[wid]
+            if proc.exitcode != 0:
+                log.warning(
+                    "worker %s died (exit code %s); releasing "
+                    "its leases", wid, proc.exitcode)
+                # The worker never got to journal its own exit;
+                # record the crash on its behalf so the report
+                # can attribute the released cells.
+                self.journal.emit("worker_exit", worker=wid,
+                                  pid=proc.pid,
+                                  exitcode=proc.exitcode,
+                                  crashed=True)
+                self.queue.release(
+                    wid, "worker crashed "
+                    f"(exit code {proc.exitcode})")
+                if self.heartbeats is not None:
+                    # The supervisor settled the death; the stale
+                    # heartbeat file has nothing left to witness.
+                    self.heartbeats.clear(wid)
+
+        control = DrainControl().install()
+        forwarded = False
+        grace_deadline = 0.0
+        last_reclaim = time.monotonic()
         try:
             while procs:
+                if control.requested and not forwarded:
+                    forwarded = True
+                    grace_deadline = time.monotonic() + drain_grace
+                    log.info("forwarding SIGTERM to %d worker(s); "
+                             "waiting up to %.0f s for graceful "
+                             "drains", len(procs), drain_grace)
+                    for proc in procs.values():
+                        if proc.is_alive() and proc.pid is not None:
+                            try:
+                                os.kill(proc.pid, signal.SIGTERM)
+                            except OSError:
+                                pass
+                if forwarded and time.monotonic() > grace_deadline:
+                    log.warning("drain grace expired; killing %d "
+                                "holdout worker(s)", len(procs))
+                    for wid, proc in list(procs.items()):
+                        try:
+                            proc.kill()
+                        except OSError:
+                            pass
+                        proc.join(1.0)
+                        reap_dead(wid, proc)
+                    break
+                if self.heartbeats is not None and \
+                        time.monotonic() - last_reclaim \
+                        >= RECLAIM_INTERVAL_SECONDS:
+                    last_reclaim = time.monotonic()
+                    self.queue.reclaim()
                 for wid, proc in list(procs.items()):
                     proc.join(timeout=SUPERVISE_POLL_SECONDS)
-                    if proc.is_alive():
-                        continue
-                    del procs[wid]
-                    if proc.exitcode != 0:
-                        log.warning(
-                            "worker %s died (exit code %s); releasing "
-                            "its leases", wid, proc.exitcode)
-                        # The worker never got to journal its own exit;
-                        # record the crash on its behalf so the report
-                        # can attribute the released cells.
-                        self.journal.emit("worker_exit", worker=wid,
-                                          pid=proc.pid,
-                                          exitcode=proc.exitcode,
-                                          crashed=True)
-                        self.queue.release(
-                            wid, "worker crashed "
-                            f"(exit code {proc.exitcode})")
+                    if not proc.is_alive():
+                        reap_dead(wid, proc)
         except BaseException:
             # Error/interrupt in the planner: kill the fleet (bounded
             # teardown; completed cells are already durable) and
@@ -252,6 +356,9 @@ class Campaign:
             for proc in procs.values():
                 proc.join(1.0)
             raise
+        finally:
+            control.restore()
+        return control.signum if control.requested else None
 
     # ------------------------------------------------------------------
     # collect

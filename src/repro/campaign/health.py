@@ -1,0 +1,323 @@
+"""Fleet health primitives: heartbeats, graceful drain, resource guards.
+
+The campaign engine (queue + workers + supervisor) is crash-*safe*:
+nothing is lost when a worker dies.  This module makes fleets crash-
+*aware* and operator-friendly — the difference between "the lease
+deadline will eventually fix it" and "the fleet notices, reacts and
+narrates".  Three primitives, all above the simulator (golden parity
+is untouched):
+
+* :class:`HeartbeatStore` — per-worker liveness files under
+  ``<campaign_dir>/heartbeats/``.  A worker stamps its heartbeat every
+  lease round and after every completed cell; a worker that exits
+  cleanly (drained queue *or* graceful drain) removes its file.  The
+  queue uses heartbeat *age* to distinguish a slow-but-alive worker
+  (fresh heartbeat: defer reclaiming its expired lease, avoiding a
+  pointless double execution) from a dead one (stale heartbeat:
+  release its leases early instead of waiting out the full lease
+  deadline).  A leftover heartbeat file is itself a finding — it means
+  a worker died without saying goodbye — which ``campaign_doctor``
+  reports and repairs.
+
+* :class:`DrainControl` — cooperative signal-triggered shutdown.
+  Worker entry points install SIGTERM/SIGINT handlers that *request* a
+  drain; the drain loop finishes the in-flight cell, returns the
+  unstarted remainder of its lease to the queue (attempts refunded),
+  journals a ``worker_drain`` event and exits 0.  A second signal
+  escalates to an ordinary :class:`KeyboardInterrupt` for operators
+  who really mean *now*.
+
+* Resource guards — :func:`check_free_disk` (a preflight with a
+  configurable floor, so a campaign refuses to start on a disk that
+  would wedge it mid-drain) and :func:`set_memory_limit` (an rlimit
+  ceiling for isolated retry children, so a cell with a pathological
+  footprint dies alone instead of OOM-killing a shared worker).
+
+Everything here is dependency-free and side-effect-free at import
+time; signal handlers are only installed where a process owns its main
+thread (worker entry points and CLIs, never library code).
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import shutil
+import signal
+import tempfile
+import time
+from pathlib import Path
+
+from repro.obs.logging_setup import get_logger
+
+log = get_logger("campaign.health")
+
+HEARTBEATS_NAME = "heartbeats"
+"""Subdirectory of a campaign directory holding per-worker liveness
+files (``<campaign_dir>/heartbeats/<worker_id>.json``)."""
+
+DEFAULT_HEARTBEAT_STALE_SECONDS = 120.0
+"""Heartbeat age beyond which a worker is presumed dead.  Workers
+stamp their heartbeat every lease round *and* after every completed
+cell, so the age only grows while a worker is crashed, wedged inside a
+single cell, or partitioned from the filesystem.  Deliberately
+generous: a false "dead" verdict only costs a harmless double
+execution (acks are idempotent), but it also charges the cell a
+crash-attributed attempt, so the default stays well above any sane
+per-cell latency."""
+
+DISK_FLOOR_ENV_VAR = "REPRO_DISK_FLOOR_MB"
+"""Environment override for the free-disk floor, in megabytes.  ``0``
+disables the preflight entirely."""
+
+DEFAULT_DISK_FLOOR_BYTES = 64 * 1024 * 1024
+"""Free bytes below which planning/execution refuses to start.  Small
+on purpose — the guard exists to fail *before* a fleet starts writing
+into a full disk, not to reserve working space."""
+
+
+class ResourceGuardError(RuntimeError):
+    """A resource preflight failed (e.g. free disk below the floor)."""
+
+
+# ----------------------------------------------------------------------
+# heartbeats
+# ----------------------------------------------------------------------
+
+
+class HeartbeatStore:
+    """Per-worker liveness files under one campaign directory.
+
+    A heartbeat is one small JSON file, rewritten atomically (temp +
+    ``os.replace``) so readers never see a torn record; *age* is the
+    file's mtime distance from now, which tests can manipulate with
+    ``os.utime`` and which survives content-free touches.  All writes
+    are best-effort: liveness reporting must never take down the
+    execution it reports on.
+    """
+
+    def __init__(self, campaign_dir: str | Path) -> None:
+        self.root = Path(campaign_dir) / HEARTBEATS_NAME
+
+    def path_for(self, worker_id: str) -> Path:
+        return self.root / f"{worker_id}.json"
+
+    def beat(self, worker_id: str, **fields) -> None:
+        """Stamp ``worker_id`` as alive right now (best-effort)."""
+        record = {"worker": worker_id, "pid": os.getpid(),
+                  "t_wall": time.time(), **fields}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(record, fh, sort_keys=True)
+                os.replace(tmp, self.path_for(worker_id))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            log.debug("could not stamp heartbeat for %s", worker_id,
+                      exc_info=True)
+
+    def clear(self, worker_id: str) -> None:
+        """Remove ``worker_id``'s heartbeat (clean exit)."""
+        try:
+            self.path_for(worker_id).unlink()
+        except OSError:
+            pass
+
+    def age(self, worker_id: str, now: float | None = None) \
+            -> float | None:
+        """Seconds since ``worker_id`` last beat; ``None`` = no file.
+
+        ``None`` means the worker either never stamped a heartbeat
+        (pre-health queues, heartbeat-less drains) or exited cleanly —
+        in both cases the caller must fall back to lease-deadline
+        semantics rather than judging liveness it has no evidence for.
+        """
+        try:
+            mtime = self.path_for(worker_id).stat().st_mtime
+        except OSError:
+            return None
+        return (time.time() if now is None else now) - mtime
+
+    def ages(self, now: float | None = None) -> dict[str, float]:
+        """worker_id -> heartbeat age for every file present."""
+        now = time.time() if now is None else now
+        out: dict[str, float] = {}
+        if not self.root.is_dir():
+            return out
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                out[path.stem] = now - path.stat().st_mtime
+            except OSError:
+                continue               # raced a clean exit
+        return out
+
+    def read(self, worker_id: str) -> dict | None:
+        """The last heartbeat record of ``worker_id`` (or ``None``)."""
+        try:
+            with open(self.path_for(worker_id),
+                      encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+
+def heartbeats_for(campaign_dir: str | Path | None) \
+        -> HeartbeatStore | None:
+    """A :class:`HeartbeatStore` for the campaign, or ``None``.
+
+    ``None`` in, ``None`` out — ephemeral in-memory campaigns have no
+    directory for liveness files to live in.
+    """
+    if campaign_dir is None:
+        return None
+    return HeartbeatStore(campaign_dir)
+
+
+# ----------------------------------------------------------------------
+# graceful drain
+# ----------------------------------------------------------------------
+
+
+class DrainControl:
+    """Cooperative shutdown flag, optionally wired to signals.
+
+    The drain loop polls :attr:`requested` between cells; handlers (or
+    supervisors, or tests) set it via :meth:`request`.  When installed
+    on signals, the *first* SIGTERM/SIGINT requests a graceful drain
+    and the *second* raises :class:`KeyboardInterrupt` — finish the
+    cell on the first ask, stop immediately on the second.
+    """
+
+    def __init__(self) -> None:
+        self.requested = False
+        self.signum: int | None = None
+        self._previous: dict[int, object] = {}
+
+    def request(self, signum: int | None = None) -> None:
+        self.requested = True
+        if signum is not None and self.signum is None:
+            self.signum = signum
+
+    def _handler(self, signum, frame) -> None:
+        if self.requested:
+            raise KeyboardInterrupt(
+                f"second signal {signum} during drain")
+        log.info("signal %d: draining after the in-flight cell "
+                 "(signal again to stop now)", signum)
+        self.request(signum)
+
+    def install(self, signums=(signal.SIGTERM, signal.SIGINT)) \
+            -> "DrainControl":
+        """Install drain handlers (main thread only); returns self."""
+        for signum in signums:
+            self._previous[signum] = signal.signal(signum,
+                                                   self._handler)
+        return self
+
+    def restore(self) -> None:
+        """Put back the handlers :meth:`install` displaced."""
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        self._previous.clear()
+
+
+NULL_CONTROL = DrainControl()
+"""Shared never-draining control for call sites without signal wiring
+(the flag is only ever set by ``request``, which nothing calls on this
+instance)."""
+
+
+# ----------------------------------------------------------------------
+# resource guards
+# ----------------------------------------------------------------------
+
+
+def disk_floor_bytes(default: int = DEFAULT_DISK_FLOOR_BYTES) -> int:
+    """The free-disk floor in bytes (env override; ``0`` disables)."""
+    raw = os.environ.get(DISK_FLOOR_ENV_VAR, "").strip()
+    if not raw:
+        return default
+    try:
+        return max(0, int(float(raw) * 1024 * 1024))
+    except ValueError:
+        log.warning("ignoring unparseable %s=%r", DISK_FLOOR_ENV_VAR,
+                    raw)
+        return default
+
+
+def free_disk_bytes(path: str | Path) -> int | None:
+    """Free bytes on the filesystem holding ``path``.
+
+    Walks up to the nearest existing ancestor (the preflight runs
+    before campaign directories are created).  ``None`` when even that
+    probe fails — an unknowable filesystem is not a reason to refuse
+    to run.
+    """
+    probe = Path(path).absolute()
+    while True:
+        try:
+            return shutil.disk_usage(probe).free
+        except OSError:
+            if probe.parent == probe:
+                return None
+            probe = probe.parent
+
+
+def check_free_disk(path: str | Path,
+                    floor: int | None = None) -> int | None:
+    """Preflight: refuse to proceed on a nearly-full filesystem.
+
+    Raises :class:`ResourceGuardError` when the filesystem holding
+    ``path`` has fewer than ``floor`` free bytes (default:
+    :func:`disk_floor_bytes`, overridable via
+    :data:`DISK_FLOOR_ENV_VAR`; a floor of ``0`` disables the check).
+    Returns the free byte count (``None`` if unprobeable) so callers
+    can log it.
+    """
+    floor = disk_floor_bytes() if floor is None else floor
+    if floor <= 0:
+        return None
+    free = free_disk_bytes(path)
+    if free is not None and free < floor:
+        raise ResourceGuardError(
+            f"only {free / 1e6:.1f} MB free on the filesystem holding "
+            f"{path} (floor: {floor / 1e6:.1f} MB) — free space or "
+            f"lower the floor via {DISK_FLOOR_ENV_VAR}")
+    return free
+
+
+def set_memory_limit(limit_bytes: int) -> bool:
+    """Cap this process's address space via rlimit (POSIX only).
+
+    Called inside isolated cell children *before* execution so a cell
+    with a pathological memory footprint gets a clean ``MemoryError``
+    (or dies alone) instead of OOM-killing a worker that holds leases
+    for innocent cells.  Returns whether a limit was actually applied
+    — platforms without ``resource`` degrade to unlimited, silently by
+    design (the guard is an optional hardening, not a correctness
+    requirement).
+    """
+    try:
+        import resource
+    except ImportError:
+        return False
+    try:
+        resource.setrlimit(resource.RLIMIT_AS,
+                           (limit_bytes, limit_bytes))
+    except (ValueError, OSError):
+        return False
+    return True
+
+
+def is_enospc(exc: BaseException) -> bool:
+    """Whether an exception is a disk-full ``OSError``."""
+    return isinstance(exc, OSError) and exc.errno in (errno.ENOSPC,
+                                                      errno.EDQUOT)

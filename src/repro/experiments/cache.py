@@ -35,10 +35,14 @@ from repro.campaign.cells import (
     cell_descriptor,
     cell_key,
 )
+from repro.campaign.health import is_enospc
 from repro.core.metrics import SimResult
 from repro.obs.journal import NULL_JOURNAL
+from repro.obs.logging_setup import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.resilience.faults import descriptor_label, should_corrupt
+
+log = get_logger("experiments.cache")
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
@@ -83,6 +87,11 @@ class ResultCache:
         # can flush them into the journal once it opens.
         self.journal = NULL_JOURNAL
         self.quarantine_events: list[dict] = []
+        # Degraded mode: the filesystem ran out of space mid-campaign.
+        # Instead of nack-looping every cell on ENOSPC, puts become
+        # no-ops (results still land durably in the queue rows) until
+        # a write succeeds again; the transition is journaled once.
+        self.degraded = False
 
     def path_for(self, key: str) -> Path:
         """Where the entry for ``key`` lives (fan-out by prefix)."""
@@ -136,18 +145,23 @@ class ResultCache:
         REGISTRY.counter("repro_cache_hits_total").inc()
         return result
 
-    def verify(self) -> dict:
+    def verify(self, repair: bool = True) -> dict:
         """Proactively validate every entry; quarantine the corrupt.
 
         Walks the whole store applying exactly the :meth:`get`
         validation (parse, key match, schema, result shape) without
         waiting for a read to trip over a bad entry — the audit to run
         before archiving a cache or handing it to a worker fleet.
-        Quarantined entries land next to ``.reason.txt`` files like
-        any other corruption.  Returns ``{"checked", "healthy",
-        "quarantined"}`` counts for this walk.
+        With ``repair=True`` (the default) corrupt entries are
+        quarantined next to ``.reason.txt`` files like any other
+        corruption; ``repair=False`` is a pure audit — corrupt entries
+        are reported but left in place (``campaign_doctor`` without
+        ``--repair``).  Returns ``{"checked", "healthy",
+        "quarantined", "corrupt"}`` where ``corrupt`` lists
+        ``{"key", "reason"}`` for every defective entry found.
         """
         checked = healthy = quarantined = 0
+        corrupt: list[dict] = []
         for path in sorted(self.root.glob("??/*.json")):
             checked += 1
             try:
@@ -155,12 +169,17 @@ class ResultCache:
             except FileNotFoundError:
                 continue               # raced a pruner; nothing to judge
             except (OSError, ValueError, KeyError, TypeError) as exc:
-                self._quarantine(path, f"{type(exc).__name__}: {exc}")
-                quarantined += 1
+                corrupt.append({"key": path.stem,
+                                "reason": f"{type(exc).__name__}: "
+                                          f"{exc}"})
+                if repair:
+                    self._quarantine(path,
+                                     f"{type(exc).__name__}: {exc}")
+                    quarantined += 1
             else:
                 healthy += 1
         return {"checked": checked, "healthy": healthy,
-                "quarantined": quarantined}
+                "quarantined": quarantined, "corrupt": corrupt}
 
     def _quarantine(self, path: Path, reason: str) -> None:
         """Move a corrupt entry (plus a reason file) out of the cache.
@@ -190,24 +209,42 @@ class ResultCache:
 
     def put(self, key: str, result: SimResult,
             descriptor: dict | None = None) -> None:
-        """Store a result atomically (safe under parallel writers)."""
+        """Store a result atomically (safe under parallel writers).
+
+        A full filesystem (ENOSPC/EDQUOT) does not raise: the cache
+        flips into *degraded* mode — this and subsequent puts become
+        no-ops — because every result also lands durably in its queue
+        row, so losing cache writes costs warm-start time, not data,
+        while raising would nack-loop the whole fleet against a full
+        disk.  Each put keeps retrying the write, so the cache heals
+        itself the moment space frees up (journaled both ways).
+        """
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"key": key, "schema": RESULT_SCHEMA_VERSION,
                    "cell": descriptor, "result": result.to_dict()}
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        tmp = None
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh, sort_keys=True)
             os.replace(tmp, path)
-        except BaseException:
+        except BaseException as exc:
             # Any interruption — KeyboardInterrupt included — must
             # drop the partial temp file, then re-raise the *original*
             # exception; suppress() keeps a failed unlink out of the
             # exception context so the traceback stays attributable.
             with contextlib.suppress(OSError):
-                os.unlink(tmp)
+                if tmp is not None:
+                    os.unlink(tmp)
+            if is_enospc(exc):
+                self._degrade(key, exc)
+                return
             raise
+        if self.degraded:
+            self.degraded = False
+            log.info("cache writable again; leaving degraded mode")
+            self.journal.emit("cache_recovered", key=key)
         # Fault-injection hook (no-op unless REPRO_FAULTS is set):
         # a matching "corrupt" fault truncates the entry just written,
         # modelling a torn write for the quarantine machinery to catch.
@@ -215,6 +252,17 @@ class ResultCache:
                           if descriptor else key):
             path.write_text(f'{{"key": "{key}", "schema"',
                             encoding="utf-8")
+
+    def _degrade(self, key: str, exc: BaseException) -> None:
+        """Note a disk-full write failure; journal the transition once."""
+        REGISTRY.counter("repro_cache_degraded_puts_total").inc()
+        if not self.degraded:
+            self.degraded = True
+            log.warning("filesystem full (%s); cache degraded — "
+                        "results continue to land in the queue rows",
+                        exc)
+            self.journal.emit("cache_degraded", key=key,
+                              error=str(exc))
 
     def __len__(self) -> int:
         """Number of entries currently on disk."""

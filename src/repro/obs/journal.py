@@ -47,6 +47,27 @@ Event vocabulary (the ``ev`` field)::
     worker_exit    a drain loop ended (executed/failed/leases) or a
                    supervisor observed a worker die (exitcode)
     worker_spawn   supervisor launched a worker process
+
+Fleet-health events (PR 8)::
+
+    heartbeat_stale       a worker stopped beating past the stale
+                          threshold; its leased cell was released
+                          early (error names the silent seconds)
+    poisoned              cell's budget exhausted with every attempt
+                          worker-fatal (fatal_attempts); terminal —
+                          this cell kills workers and will not be
+                          resumed into a fleet again
+    worker_drain          SIGTERM/SIGINT drain: in-flight cell
+                          finished, rest of the lease returned
+                          (signal, executed, unleased)
+    worker_interrupt      hard interrupt mid-batch: unstarted
+                          batch-mates unleased before re-raising
+    campaign_interrupted  supervisor stopped a campaign on a signal
+                          (unresolved count; resume picks it up)
+    cache_degraded        result cache hit a full disk; puts are
+                          no-ops until space frees (queue rows keep
+                          the results)
+    cache_recovered       a later put succeeded; cache healed
 """
 
 from __future__ import annotations

@@ -28,11 +28,14 @@ import statistics
 import time
 from pathlib import Path
 
+from repro.campaign.health import (DEFAULT_HEARTBEAT_STALE_SECONDS,
+                                   HeartbeatStore)
 from repro.campaign.manifest import MANIFEST_NAME, QUEUE_NAME
 from repro.obs.journal import journal_path, read_events
 
 CELL_EVENTS = ("lease", "execute", "ack", "nack", "retry", "failed",
-               "timeout", "lease_expired", "release", "unlease")
+               "poisoned", "timeout", "lease_expired", "release",
+               "heartbeat_stale", "unlease")
 """Events that carry a cell ``key`` (per-cell timeline material)."""
 
 
@@ -75,6 +78,12 @@ def load_journal(campaign_dir: str | Path) -> list[dict]:
     if not path.exists():
         return []
     return read_events(path)
+
+
+def heartbeat_ages(campaign_dir: str | Path,
+                   now: float | None = None) -> dict[str, float]:
+    """Seconds since each worker's last heartbeat (may be empty)."""
+    return HeartbeatStore(campaign_dir).ages(now=now)
 
 
 def _worker_table(events: list[dict]) -> dict[str, dict]:
@@ -135,6 +144,9 @@ def live_status(campaign_dir: str | Path,
     events = load_journal(campaign_dir)
     workers = _worker_table(events)
     now = time.time() if now is None else now
+    beats = heartbeat_ages(campaign_dir, now=now)
+    stale = sorted(w for w, age in beats.items()
+                   if age >= DEFAULT_HEARTBEAT_STALE_SECONDS)
 
     total = sum(counts.values())
     done = counts.get("done", 0)
@@ -170,6 +182,8 @@ def live_status(campaign_dir: str | Path,
         "eta_seconds": eta,
         "workers": workers,
         "active_workers": active,
+        "heartbeats": beats,
+        "stale_workers": stale,
         "journal_events": len(events),
         "as_of": now,
     }
@@ -185,8 +199,8 @@ def _cell_timelines(events: list[dict]) -> dict[str, dict]:
             "queue_wait_seconds": None, "execute_seconds": None,
             "cache_put_seconds": None, "elapsed_seconds": None,
             "acked_by": None, "nacks": 0, "timeouts": 0,
-            "lease_expired": 0, "released": 0,
-            "last_error": None, "done": False,
+            "lease_expired": 0, "released": 0, "heartbeat_stale": 0,
+            "last_error": None, "done": False, "poisoned": False,
         })
 
     for ev in events:
@@ -220,8 +234,15 @@ def _cell_timelines(events: list[dict]) -> dict[str, dict]:
         elif kind == "release":
             rec["released"] += 1
             rec["last_error"] = ev.get("error", rec["last_error"])
+        elif kind == "heartbeat_stale":
+            rec["heartbeat_stale"] += 1
+            rec["last_error"] = ev.get("error", rec["last_error"])
         elif kind == "failed":
             rec["done"] = False
+            rec["last_error"] = ev.get("error", rec["last_error"])
+        elif kind == "poisoned":
+            rec["done"] = False
+            rec["poisoned"] = True
             rec["last_error"] = ev.get("error", rec["last_error"])
     return cells
 
@@ -253,6 +274,11 @@ def campaign_report(campaign_dir: str | Path, top: int = 10) -> dict:
     quarantines = [{"key": ev.get("key"), "reason": ev.get("reason"),
                     "t_wall": ev.get("t_wall")}
                    for ev in events if ev.get("ev") == "quarantine"]
+    poisoned = [{"key": ev.get("key"), "label": ev.get("label"),
+                 "error": ev.get("error"),
+                 "fatal_attempts": ev.get("fatal_attempts"),
+                 "t_wall": ev.get("t_wall")}
+                for ev in events if ev.get("ev") == "poisoned"]
     crashes = [{"worker": ev.get("worker"),
                 "exitcode": ev.get("exitcode")}
                for ev in events if ev.get("ev") == "worker_exit"
@@ -273,9 +299,12 @@ def campaign_report(campaign_dir: str | Path, top: int = 10) -> dict:
         "lease_expirations": sum(rec["lease_expired"]
                                  for rec in cells.values()),
         "releases": sum(rec["released"] for rec in cells.values()),
+        "heartbeat_stale_releases": sum(rec["heartbeat_stale"]
+                                        for rec in cells.values()),
         "slowest_cells": slowest,
         "retry_culprits": retried,
         "quarantines": quarantines,
+        "poisoned_cells": poisoned,
         "worker_crashes": crashes,
         "workers": workers,
     }

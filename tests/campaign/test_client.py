@@ -84,7 +84,7 @@ class TestCacheVerify:
     def test_healthy_cache_verifies_clean(self, tmp_path):
         cache = self.fill(tmp_path)
         assert cache.verify() == {"checked": 3, "healthy": 3,
-                                  "quarantined": 0}
+                                  "quarantined": 0, "corrupt": []}
 
     def test_corrupt_entries_are_quarantined_proactively(self, tmp_path):
         cache = self.fill(tmp_path)
@@ -94,8 +94,18 @@ class TestCacheVerify:
         payload["schema"] = -1
         entries[1].write_text(json.dumps(payload), encoding="utf-8")
 
+        # An audit-only pass reports the corruption but touches nothing.
+        report = cache.verify(repair=False)
+        assert report["checked"] == 3 and report["healthy"] == 1
+        assert report["quarantined"] == 0
+        assert sorted(c["key"] for c in report["corrupt"]) == \
+            sorted(e.stem for e in entries[:2])
+        assert all(p.exists() for p in entries)
+
         audit = cache.verify()
-        assert audit == {"checked": 3, "healthy": 1, "quarantined": 2}
+        assert (audit["checked"], audit["healthy"],
+                audit["quarantined"]) == (3, 1, 2)
+        assert len(audit["corrupt"]) == 2
         # The bad files moved out of the addressable tree, with reasons.
         assert sorted(p.name for p in entries
                       if p.exists()) == [entries[2].name]
@@ -103,7 +113,7 @@ class TestCacheVerify:
         assert len(reasons) == 2
         # And a re-verify has nothing left to complain about.
         assert cache.verify() == {"checked": 1, "healthy": 1,
-                                  "quarantined": 0}
+                                  "quarantined": 0, "corrupt": []}
 
     def test_quarantined_cells_resimulate_once(self, tmp_path):
         cache = self.fill(tmp_path, n_seeds=1)

@@ -158,14 +158,19 @@ class TestCrashReclamation:
             (reclaimed,) = queue.lease("alive")
             assert reclaimed.attempts == 2           # dead worker's + ours
 
-    def test_expired_lease_fails_by_budget(self):
+    def test_expired_lease_exhausting_budget_is_poisoned(self):
+        # Every charged attempt ended in a worker death, so the row
+        # settles as poisoned (fleet-killer), not plain failed.
         with CellQueue() as queue:
             fill(queue, 1, max_attempts=1)
             queue.lease("dead", lease_seconds=0.05)
             time.sleep(0.1)
             assert queue.lease("alive") == []
-            assert queue.counts() == {"failed": 1}
+            assert queue.counts() == {"poisoned": 1}
             assert "lease expired" in queue.failures()["key0"].error
+            assert "poisoned" in queue.failures()["key0"].error
+            assert list(queue.poisoned()) == ["key0"]
+            assert queue.unresolved() == 0
 
     def test_release_returns_a_dead_workers_cells_immediately(self):
         with CellQueue() as queue:
